@@ -1,0 +1,35 @@
+"""A3 — ablation of the grid resolution N (the §5 user-controllable approximation knob).
+
+Theorem 6 bounds the extra angular distance of MDONLINE's answer by a quantity
+that shrinks as the number of cells N grows; the price is preprocessing time
+(more cells to mark).  The paper fixes N = 40,000 in its experiments; this
+ablation sweeps N and reports the guaranteed bound, the observed suggestion
+distances and the preprocessing cost, confirming the knob trades accuracy for
+offline work exactly as designed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_ablation_grid_resolution, format_sweep
+
+
+def test_ablation_grid_resolution(benchmark, once):
+    sweep = once(
+        benchmark,
+        experiment_ablation_grid_resolution,
+        n_cells_values=(16, 64, 256),
+        n_items=120,
+        d=3,
+        n_queries=20,
+        max_hyperplanes=100,
+    )
+    print("\n[Ablation A3] grid resolution N: guarantee vs observed distance vs cost")
+    print(format_sweep(sweep))
+    bounds = sweep.series["theorem6_bound"].ys
+    cells = sweep.series["theorem6_bound"].xs
+    fractions = sweep.series["marked_cell_fraction"].ys
+    # Shape: the Theorem 6 guarantee tightens monotonically as N grows.
+    assert cells == sorted(cells)
+    assert all(later <= earlier + 1e-12 for earlier, later in zip(bounds, bounds[1:]))
+    # Every marked-cell fraction is a valid fraction.
+    assert all(0.0 <= fraction <= 1.0 for fraction in fractions)

@@ -1,0 +1,27 @@
+"""A2 — ablation of the convex-layer ("onion") pre-filter of §8 (future work in the paper).
+
+When the fairness oracle only inspects the top-k, items outside the first k
+convex layers can never appear there, so their exchange hyperplanes can be
+dropped before building any arrangement.  The paper leaves this as future
+work; this benchmark implements and measures it: hyperplane count and
+SATREGIONS construction time with and without the filter.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_ablation_convex_layers, format_table
+
+
+def test_ablation_convex_layer_filter(benchmark, once):
+    result = once(benchmark, experiment_ablation_convex_layers, n_items=60, d=3, k=12)
+    rows = [
+        ["full: hyperplanes", int(result["full_hyperplanes"])],
+        ["full: seconds", round(result["full_seconds"], 2)],
+        ["full: satisfactory regions", int(result["full_satisfactory_regions"])],
+        ["convex layers: hyperplanes", int(result["convex_layers_hyperplanes"])],
+        ["convex layers: seconds", round(result["convex_layers_seconds"], 2)],
+        ["convex layers: satisfactory regions", int(result["convex_layers_satisfactory_regions"])],
+    ]
+    print("\n[Ablation A2] convex-layer pre-filter of exchange hyperplanes")
+    print(format_table(["quantity", "value"], rows))
+    assert result["convex_layers_hyperplanes"] <= result["full_hyperplanes"]

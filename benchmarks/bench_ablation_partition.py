@@ -1,0 +1,36 @@
+"""A4 — ablation of the angle-space partition backend (Appendix A.2 vs uniform grid).
+
+The paper partitions the angle space with an adaptive, (approximately)
+equal-area construction (Algorithm 12) so that every cell has the same bounded
+angular diameter; a plain uniform grid is the simpler alternative.  This
+ablation runs the full §5 pipeline with both backends at the same cell budget
+and compares realised cell count, diameter bound, marked-cell fraction,
+preprocessing time and the observed suggestion distances.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_ablation_partition, format_sweep
+
+
+def test_ablation_partition_backend(benchmark, once):
+    sweep = once(
+        benchmark,
+        experiment_ablation_partition,
+        n_items=120,
+        d=3,
+        n_cells=256,
+        n_queries=15,
+        max_hyperplanes=100,
+    )
+    print("\n[Ablation A4] partition backend (0 = uniform grid, 1 = equal-area angle partition)")
+    print(format_sweep(sweep))
+    realised = sweep.series["realised_cells"].ys
+    diameters = sweep.series["cell_diameter_bound"].ys
+    distances = sweep.series["mean_suggestion_distance"].ys
+    assert len(realised) == 2
+    # Both backends produce non-trivial partitions and valid (non-negative)
+    # suggestion distances on the same query workload.
+    assert all(count >= 16 for count in realised)
+    assert all(diameter > 0 for diameter in diameters)
+    assert all(distance >= 0 for distance in distances)

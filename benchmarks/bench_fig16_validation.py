@@ -1,0 +1,35 @@
+"""E1 / Figure 16 — validation: angle distance between input and output functions.
+
+Paper setting: COMPAS, d=3, FM1 on race (≤60 % African-American in the top
+30 %), 100 random queries.  Paper result: 52 queries already satisfactory; all
+48 repaired queries within θ < 0.6 of the input, 38 of them within θ < 0.4.
+This benchmark regenerates the cumulative-count rows at reduced dataset size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_fig16_validation, format_table
+
+
+def test_fig16_validation_cumulative_distances(benchmark, once):
+    result = once(
+        benchmark,
+        experiment_fig16_validation,
+        n_items=100,
+        d=3,
+        n_queries=100,
+        n_cells=144,
+        max_hyperplanes=80,
+    )
+    thresholds = (0.2, 0.4, 0.6)
+    counts = result.cumulative_counts(thresholds)
+    rows = [[f"theta < {threshold}", counts[threshold]] for threshold in thresholds]
+    rows.append(["already satisfactory", result.n_already_satisfactory])
+    rows.append(["repaired queries", len(result.distances)])
+    rows.append(["max repair distance", round(result.max_distance, 4)])
+    print("\n[Figure 16] cumulative distance of suggested functions")
+    print(format_table(["quantity", "value"], rows))
+    assert result.n_already_satisfactory + len(result.distances) == result.n_queries
+    # Paper shape: every repaired query has a nearby satisfactory function.
+    if result.distances:
+        assert counts[0.6] >= int(0.8 * len(result.distances))

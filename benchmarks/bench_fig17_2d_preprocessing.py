@@ -1,0 +1,27 @@
+"""E7 / Figure 17 — 2-D preprocessing: ordering exchanges and ray-sweep time vs n.
+
+Paper result: the number of ordering exchanges grows clearly sub-quadratically
+(dominated pairs contribute none — 450 k observed vs the 16 M worst case at
+n = 4,000) and the sweep time grows faster than the exchange count because the
+oracle itself is O(n).  The benchmark reproduces both series for a sweep of n.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_fig17_2d_preprocessing, format_sweep
+
+
+def test_fig17_exchanges_and_time_vs_n(benchmark, once):
+    sweep = once(
+        benchmark, experiment_fig17_2d_preprocessing, n_values=(100, 200, 300, 400)
+    )
+    print("\n[Figure 17] 2D preprocessing vs n")
+    print(format_sweep(sweep))
+    exchanges = sweep.series["ordering_exchanges"].ys
+    times = sweep.series["preprocess_seconds"].ys
+    n_values = sweep.series["ordering_exchanges"].xs
+    # Shape: both series grow monotonically with n.
+    assert exchanges == sorted(exchanges)
+    assert times[-1] >= times[0]
+    # Shape: exchanges stay well below the n^2 worst case (dominated pairs skipped).
+    assert exchanges[-1] < n_values[-1] ** 2

@@ -1,0 +1,30 @@
+"""E9 / Figure 19 — arrangement complexity (number of regions) while adding hyperplanes.
+
+Paper result (d=3): fewer than 200 regions after the first 50 hyperplanes but
+more than 5,000 after 250 — the growth is super-linear, which is why adding
+later hyperplanes is so much more expensive and why the per-cell construction
+of §5 pays off.  The benchmark reproduces the region-count series.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_fig19_region_growth, format_sweep
+
+
+def test_fig19_region_growth(benchmark, once):
+    sweep = once(
+        benchmark,
+        experiment_fig19_region_growth,
+        n_items=60,
+        d=3,
+        checkpoints=(10, 20, 40, 80),
+    )
+    print("\n[Figure 19] number of arrangement regions vs hyperplanes inserted")
+    print(format_sweep(sweep))
+    regions = sweep.series["regions"].ys
+    hyperplanes = sweep.series["regions"].xs
+    assert regions == sorted(regions)
+    # Shape: super-linear growth — the per-hyperplane region increment rises.
+    first_rate = (regions[1] - regions[0]) / (hyperplanes[1] - hyperplanes[0])
+    last_rate = (regions[-1] - regions[-2]) / (hyperplanes[-1] - hyperplanes[-2])
+    assert last_rate >= first_rate

@@ -1,0 +1,26 @@
+"""E10 / Figure 20 — number of exchange hyperplanes |H| and construction time vs n.
+
+Paper result (d=3): |H| approaches the n² pair count as d grows (fewer
+dominated pairs) and the construction time is linear in |H|.  The benchmark
+reproduces both series.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_fig20_hyperplanes, format_sweep
+
+
+def test_fig20_hyperplane_count_and_time(benchmark, once):
+    sweep = once(
+        benchmark, experiment_fig20_hyperplanes, n_values=(50, 100, 200, 300), d=3
+    )
+    print("\n[Figure 20] exchange hyperplanes and construction time vs n")
+    print(format_sweep(sweep))
+    counts = sweep.series["hyperplanes"].ys
+    times = sweep.series["construction_seconds"].ys
+    n_values = sweep.series["hyperplanes"].xs
+    assert counts == sorted(counts)
+    assert times[-1] >= times[0]
+    # Shape: in 3D most pairs are non-dominated, so |H| is a large fraction of n(n-1)/2.
+    pairs = n_values[-1] * (n_values[-1] - 1) / 2
+    assert counts[-1] >= 0.5 * pairs

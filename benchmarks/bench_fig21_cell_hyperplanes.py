@@ -1,0 +1,33 @@
+"""E11 / Figure 21 — number of hyperplanes passing through each cell (n=100, d=4).
+
+Paper result: the distribution is heavily skewed — more than 5,000 of 6,000
+cells are crossed by fewer than 100 hyperplanes, so building the per-cell
+arrangements is cheap for the vast majority of cells.  The benchmark
+reproduces the sorted per-cell counts and checks the skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import experiment_fig21_cell_hyperplanes, format_table
+
+
+def test_fig21_hyperplanes_per_cell(benchmark, once):
+    counts = once(
+        benchmark,
+        experiment_fig21_cell_hyperplanes,
+        n_items=100,
+        d=4,
+        n_cells=1296,
+        max_hyperplanes=400,
+    )
+    quantiles = {q: float(np.quantile(counts, q)) for q in (0.25, 0.5, 0.9, 1.0)}
+    rows = [[f"quantile {q}", round(value, 1)] for q, value in quantiles.items()]
+    rows.append(["mean", round(float(counts.mean()), 1)])
+    rows.append(["cells", int(counts.size)])
+    print("\n[Figure 21] hyperplanes passing through each cell (sorted distribution)")
+    print(format_table(["quantity", "value"], rows))
+    # Shape: heavy skew — the median cell is crossed by far fewer hyperplanes
+    # than the busiest cell.
+    assert quantiles[0.5] <= 0.6 * quantiles[1.0]

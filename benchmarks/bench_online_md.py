@@ -1,0 +1,67 @@
+"""E6 / §6.3 (MD) — MDONLINE latency for d = 3..6 vs. sorting the data.
+
+Paper result: MDONLINE answers in < 200 µs for every dimensionality, far below
+the ≈25 ms needed just to order the items, and the latency is independent of
+the dataset size.  The benchmark times the index-lookup path (the per-query
+cost the paper reports) for d = 3..6, and separately demonstrates the
+n-independence claim by repeating the d = 3 measurement on a 10x larger
+dataset: the lookup cost stays flat while the cost of ordering grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_online_md, format_table
+
+
+def test_online_md_query_latency(benchmark, once):
+    results = once(
+        benchmark,
+        experiment_online_md,
+        d_values=(3, 4, 5, 6),
+        n_items=150,
+        n_queries=30,
+        n_cells=100,
+        max_hyperplanes=40,
+    )
+    rows = [
+        [
+            timing.label,
+            round(timing.mean_query_seconds * 1e6, 1),
+            round(timing.mean_ordering_seconds * 1e3, 3),
+            round(timing.speedup, 1),
+        ]
+        for timing in results
+    ]
+    print("\n[Section 6.3, MD] online answering (index lookup) vs sorting")
+    print(format_table(["configuration", "lookup (µs)", "sort (ms)", "speed-up"], rows))
+    assert len(results) == 4
+    # Paper shape: sub-millisecond answering for every dimensionality
+    # (the paper reports < 200 µs; we allow 2 ms of slack for slow machines).
+    for timing in results:
+        assert timing.mean_query_seconds < 2e-3
+
+
+def test_online_md_latency_independent_of_n(benchmark, once):
+    def run_two_sizes():
+        small = experiment_online_md(
+            d_values=(3,), n_items=150, n_queries=30, n_cells=100, max_hyperplanes=40
+        )[0]
+        large = experiment_online_md(
+            d_values=(3,), n_items=1500, n_queries=30, n_cells=100, max_hyperplanes=40
+        )[0]
+        return small, large
+
+    small, large = once(benchmark, run_two_sizes)
+    rows = [
+        ["n=150: lookup (µs)", round(small.mean_query_seconds * 1e6, 1)],
+        ["n=150: sort (ms)", round(small.mean_ordering_seconds * 1e3, 3)],
+        ["n=1500: lookup (µs)", round(large.mean_query_seconds * 1e6, 1)],
+        ["n=1500: sort (ms)", round(large.mean_ordering_seconds * 1e3, 3)],
+    ]
+    print("\n[Section 6.3, MD] lookup latency is independent of n")
+    print(format_table(["quantity", "value"], rows))
+    # Paper shape: ordering cost grows with n while the lookup cost does not
+    # (generous factors absorb timer noise on loaded machines).
+    assert large.mean_ordering_seconds > 1.5 * small.mean_ordering_seconds
+    assert large.mean_query_seconds < 5.0 * small.mean_query_seconds
+    assert large.mean_query_seconds < 2e-3

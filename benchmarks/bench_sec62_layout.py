@@ -1,0 +1,39 @@
+"""E2–E4 / §6.2 — layout of satisfactory regions for three 2-D configurations.
+
+Paper results: (E2) scoring on age + juvenile counts with FM1 on the age group
+leaves a single narrow satisfactory region; (E3) the same scoring attributes
+with FM1 on race leave several regions and every query has a repair within
+θ < 0.11; (E4) the stricter FM2 widens the gaps but repairs stay within
+θ < 0.28.  The benchmark prints the same three rows (region count, satisfiable
+angle mass, max repair distance).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import experiment_sec62_layouts, format_table
+
+
+def test_sec62_satisfactory_region_layouts(benchmark, once):
+    layouts = once(benchmark, experiment_sec62_layouts, n_items=300, n_queries=40)
+    rows = [
+        [
+            layout.name,
+            layout.n_regions,
+            round(layout.total_satisfactory_angle, 3),
+            round(layout.max_repair_distance, 3),
+        ]
+        for layout in layouts
+    ]
+    print("\n[Section 6.2] satisfactory-region layouts")
+    print(
+        format_table(
+            ["configuration", "regions", "satisfiable angle (rad)", "max repair (rad)"], rows
+        )
+    )
+    assert len(layouts) == 3
+    correlated, race, fm2 = layouts
+    # Shape: the correlated constraint (E2) admits no more satisfiable angle
+    # mass than the race constraint (E3), and the FM2 constraint is the
+    # strictest of the three.
+    assert correlated.total_satisfactory_angle <= race.total_satisfactory_angle + 1e-9
+    assert fm2.total_satisfactory_angle <= race.total_satisfactory_angle + 1e-9

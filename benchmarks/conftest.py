@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module regenerates one table or figure of the paper's §6 (see
+the per-experiment index in DESIGN.md).  The workloads run at a reduced scale
+so the whole suite completes in minutes on a laptop; the *shapes* the paper
+reports (who wins, growth trends, relative factors) are what these benchmarks
+reproduce, and each module prints the regenerated series to stdout so it can
+be compared against the paper's figures (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing the run-once helper."""
+    return run_once

@@ -1,0 +1,50 @@
+"""Example: designing fair weights vs. re-ranking the output afterwards.
+
+The related work the paper positions itself against (§7) fixes unfair rankings
+*after* scoring: FA*IR-style re-rankers interleave protected candidates, and
+constrained top-k selection imposes per-group quotas on the selected set.  The
+paper's approach instead repairs the *weights*, so the final ranking is still
+induced by one transparent linear function.  This example runs all three on
+the same screening task and compares:
+
+* whether the fairness constraint is met,
+* how much total score (utility) the top-k sacrifices, and
+* whether the result is still explainable as a linear scoring function.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import experiment_baseline_comparison
+
+
+def main() -> None:
+    rows = experiment_baseline_comparison(
+        n_items=400, d=3, k=0.25, slack=0.10, n_cells=256, max_hyperplanes=150
+    )
+    header = f"{'method':18s} {'fair?':6s} {'protected share':16s} {'utility':8s} {'linear?':8s} {'distance':9s}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        distance = "-" if math.isnan(row.angular_distance_to_query) else f"{row.angular_distance_to_query:.3f}"
+        print(
+            f"{row.method:18s} {str(row.satisfies_constraint):6s} "
+            f"{row.protected_share:16.3f} {row.utility:8.3f} {str(row.is_linear):8s} {distance:9s}"
+        )
+
+    print(
+        "\nReading the table: every intervention meets the constraint, but only the\n"
+        "designer's answer remains a linear scoring function over the attributes —\n"
+        "the property that makes the ranking scheme transparent and reusable.  The\n"
+        "utility column shows how much top-k score each intervention gives up\n"
+        "relative to the unconstrained ranking."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""The paper's Example 1: designing a fair college-admissions ranking.
+
+An admissions officer scores applicants with a weighted sum of normalised GPA
+and SAT.  Equal weights under-select women at the top of the list because of a
+documented SAT gender gap; the system suggests the closest weights that meet a
+minimum-representation constraint.  The example also contrasts the paper's
+*design-time* repair with an FA*IR-style *output-time* re-ranking baseline.
+
+Run with::
+
+    python examples/college_admissions.py
+"""
+
+from __future__ import annotations
+
+from repro import FairRankingDesigner, LinearScoringFunction, ProportionalOracle
+from repro.data import make_admissions_like
+from repro.fairness import greedy_fair_rerank, group_share_at_k, selection_rate_ratio
+
+
+def main() -> None:
+    # A synthetic applicant pool with a built-in SAT gender gap (Example 1 cites
+    # the 2014 gap of ~25 points; here the gap is on the normalised scale).
+    dataset = make_admissions_like(n=600, seed=1, gap=0.10)
+    k = 150
+    print(f"applicant pool: {dataset.n_items}, admitting top-{k}")
+    print(f"gender composition: {dataset.group_proportions('gender')}")
+
+    # Fairness constraint: at least 40% women among the admitted class.
+    oracle = ProportionalOracle("gender", "female", k=k, min_fraction=0.40)
+    designer = FairRankingDesigner(dataset, oracle).preprocess()
+
+    # The officer's a-priori choice: equal weights on GPA and SAT.
+    proposal = LinearScoringFunction((0.5, 0.5))
+    ordering_before = proposal.order(dataset)
+    share_before = group_share_at_k(dataset, ordering_before, "gender", "female", k)
+    print(f"\nequal weights (0.5 GPA, 0.5 SAT): women are {share_before:.1%} of the top-{k}")
+
+    result = designer.suggest(proposal)
+    if result.satisfactory:
+        print("equal weights already meet the constraint for this pool")
+    else:
+        weights = tuple(round(value, 4) for value in result.function.weights)
+        ordering_after = result.function.order(dataset)
+        share_after = group_share_at_k(dataset, ordering_after, "gender", "female", k)
+        print(f"design-time repair: weights {weights} "
+              f"(angular distance {result.angular_distance:.4f} rad)")
+        print(f"  women are now {share_after:.1%} of the top-{k}")
+        print(
+            "  selection-rate ratio (female vs male): "
+            f"{selection_rate_ratio(dataset, ordering_before, 'gender', 'female', k):.2f} -> "
+            f"{selection_rate_ratio(dataset, ordering_after, 'gender', 'female', k):.2f}"
+        )
+
+    # Baseline: keep the unfair scores and re-rank the output instead (FA*IR style).
+    reranked = greedy_fair_rerank(
+        dataset, ordering_before, "gender", "female", k=k, min_protected_fraction=0.40
+    )
+    share_reranked = group_share_at_k(dataset, reranked, "gender", "female", k)
+    print(
+        "\noutput-time baseline (greedy re-ranking of the unfair scores): "
+        f"women are {share_reranked:.1%} of the top-{k}"
+    )
+    print(
+        "unlike the re-ranking, the design-time repair produces a ranking that is "
+        "still a transparent weighted sum of GPA and SAT"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Example: build the offline index once, persist it, and serve queries from disk.
+
+The paper's system splits work into an expensive offline phase and an
+interactive online phase.  In a deployment those phases usually run in
+different processes: a batch job preprocesses the candidate pool overnight and
+writes the index; the interactive design tool only loads the index and answers
+queries.  This example walks through that split with the JSON index store:
+
+1. generate a COMPAS-like candidate pool and state the paper's default FM1
+   constraint (at most "dataset share + 10%" African-American in the top 30%);
+2. run the approximate preprocessing pipeline and save the index (with the
+   dataset snapshot embedded) to ``fair_ranking_index.json``;
+3. pretend to be the online service: load the index from disk and answer a few
+   weight proposals without redoing any preprocessing.
+
+Run with::
+
+    python examples/index_persistence.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import FairRankingDesigner, load_index, save_index
+from repro.data import make_compas_like
+from repro.fairness import ProportionalOracle
+from repro.ranking import LinearScoringFunction
+
+
+def build_and_save(path: Path) -> None:
+    """The batch side: preprocess the candidate pool and persist the index."""
+    dataset = make_compas_like(n=400, seed=0).project(
+        ["c_days_from_compas", "juv_other_count", "start"]
+    )
+    oracle = ProportionalOracle.at_most_share_plus_slack(
+        dataset, "race", "African-American", k=0.3, slack=0.10
+    )
+    designer = FairRankingDesigner(
+        dataset, oracle, n_cells=256, max_hyperplanes=150
+    )
+    started = time.perf_counter()
+    designer.preprocess()
+    elapsed = time.perf_counter() - started
+    save_index(designer.index, path, include_dataset=True)
+    print(f"offline: preprocessed {dataset.n_items} items in {elapsed:.1f}s")
+    print(f"offline: index written to {path} ({path.stat().st_size / 1024:.0f} KiB)")
+
+
+def serve_queries(path: Path) -> None:
+    """The online side: load the index and answer proposals interactively."""
+    dataset = make_compas_like(n=400, seed=0).project(
+        ["c_days_from_compas", "juv_other_count", "start"]
+    )
+    oracle = ProportionalOracle.at_most_share_plus_slack(
+        dataset, "race", "African-American", k=0.3, slack=0.10
+    )
+    index = load_index(path, oracle=oracle)
+    print(f"\nonline: loaded index with {index.n_cells} cells "
+          f"(error bound {index.approximation_bound():.3f} rad)")
+
+    proposals = [
+        [0.34, 0.33, 0.33],
+        [0.70, 0.20, 0.10],
+        [0.10, 0.10, 0.80],
+    ]
+    for weights in proposals:
+        started = time.perf_counter()
+        answer = index.query(LinearScoringFunction(tuple(weights)))
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        if answer.satisfactory:
+            print(f"  {weights} is already fair ({elapsed_ms:.2f} ms)")
+        else:
+            suggested = [round(value, 3) for value in answer.function.weights]
+            print(
+                f"  {weights} violates the constraint; closest fair weights {suggested} "
+                f"(distance {answer.angular_distance:.3f} rad, {elapsed_ms:.2f} ms)"
+            )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as directory:
+        path = Path(directory) / "fair_ranking_index.json"
+        build_and_save(path)
+        serve_queries(path)
+
+
+if __name__ == "__main__":
+    main()

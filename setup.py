@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+All project metadata lives in pyproject.toml (PEP 621); this file only exists
+so that legacy editable installs (`pip install -e .` without build isolation)
+work on machines that cannot reach PyPI to fetch build requirements.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — a reproduction of "Designing Fair Ranking Schemes" (Asudeh et al., SIGMOD 2019).
+
+The library helps a user design a *fair* linear scoring function: given a
+dataset, a fairness oracle over orderings, and a proposed weight vector, it
+either confirms the proposal is fair or suggests the closest weight vector
+(by angular distance) that is.  Offline it indexes the *satisfactory regions*
+of weight space using ordering exchanges and hyperplane arrangements; online
+it answers queries in sub-millisecond time.
+
+Typical use::
+
+    from repro import FairRankingDesigner, ProportionalOracle
+    from repro.data import make_compas_like
+
+    dataset = make_compas_like(n=1000).project(
+        ["c_days_from_compas", "juv_other_count", "start"])
+    oracle = ProportionalOracle.at_most_share_plus_slack(
+        dataset, "race", "African-American", k=0.3, slack=0.10)
+    designer = FairRankingDesigner(dataset, oracle, n_cells=4096).preprocess()
+    result = designer.suggest([0.5, 0.3, 0.2])
+"""
+
+from repro.core import (
+    ApproximatePreprocessor,
+    DesignSession,
+    FairRankingDesigner,
+    MDApproxIndex,
+    MDExactIndex,
+    SatRegions,
+    SuggestionResult,
+    TwoDIndex,
+    TwoDRaySweep,
+)
+from repro.data import Dataset
+from repro.exceptions import (
+    ConfigurationError,
+    DatasetError,
+    GeometryError,
+    NoSatisfactoryFunctionError,
+    NotPreprocessedError,
+    OracleError,
+    ReproError,
+    ScoringFunctionError,
+)
+from repro.fairness import (
+    CallableOracle,
+    FairnessOracle,
+    MultiAttributeOracle,
+    PrefixProportionalOracle,
+    ProportionalOracle,
+    TopKGroupBoundOracle,
+)
+from repro.io import load_index, save_index
+from repro.ranking import LinearScoringFunction
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    "Dataset",
+    "LinearScoringFunction",
+    "FairnessOracle",
+    "CallableOracle",
+    "ProportionalOracle",
+    "TopKGroupBoundOracle",
+    "MultiAttributeOracle",
+    "PrefixProportionalOracle",
+    "FairRankingDesigner",
+    "DesignSession",
+    "SuggestionResult",
+    "save_index",
+    "load_index",
+    "TwoDRaySweep",
+    "TwoDIndex",
+    "SatRegions",
+    "MDExactIndex",
+    "ApproximatePreprocessor",
+    "MDApproxIndex",
+    "ReproError",
+    "DatasetError",
+    "ScoringFunctionError",
+    "GeometryError",
+    "OracleError",
+    "ConfigurationError",
+    "NoSatisfactoryFunctionError",
+    "NotPreprocessedError",
+]

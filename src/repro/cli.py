@@ -1,0 +1,230 @@
+"""Command-line front end for the fair-ranking designer.
+
+The CLI mirrors the interactive loop the paper envisions: load (or generate) a
+dataset, state a proportionality constraint, propose weights, and get back
+either a confirmation or the closest fair alternative.
+
+Examples
+--------
+Check a weight vector on a synthetic COMPAS-like dataset::
+
+    repro-fair-ranking suggest --dataset compas --n 500 --d 3 \\
+        --attribute race --group African-American --k 0.3 --max-share 0.6 \\
+        --weights 0.5,0.3,0.2
+
+Run one of the paper's experiments::
+
+    repro-fair-ranking experiment fig16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.explain import explain_repair, format_explanation
+from repro.core.system import FairRankingDesigner
+from repro.data.dataset import Dataset
+from repro.data.synthetic import (
+    COMPAS_SCORING_ATTRIBUTES,
+    make_compas_like,
+    make_dot_like,
+)
+from repro.experiments import (
+    experiment_fig16_validation,
+    experiment_fig17_2d_preprocessing,
+    experiment_online_2d,
+    experiment_online_md,
+    experiment_sampling_dot,
+    experiment_sec62_layouts,
+    format_sweep,
+    generate_figures,
+)
+from repro.fairness.auditing import audit_function, format_audit
+from repro.fairness.proportional import ProportionalOracle
+from repro.ranking.scoring import LinearScoringFunction
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fair-ranking",
+        description="Design fair linear ranking schemes (Asudeh et al., SIGMOD 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    suggest = subparsers.add_parser("suggest", help="check weights and suggest a fair alternative")
+    suggest.add_argument("--dataset", choices=["compas", "dot"], default="compas")
+    suggest.add_argument("--csv", help="load the dataset from a CSV instead of generating it")
+    suggest.add_argument("--n", type=int, default=500, help="synthetic dataset size")
+    suggest.add_argument("--d", type=int, default=3, help="number of scoring attributes")
+    suggest.add_argument("--seed", type=int, default=0)
+    suggest.add_argument("--attribute", required=True, help="type attribute of the constraint")
+    suggest.add_argument("--group", required=True, help="protected group value")
+    suggest.add_argument("--k", type=float, default=0.3, help="top-k (count or fraction)")
+    suggest.add_argument("--max-share", type=float, help="maximum share of the group in the top-k")
+    suggest.add_argument("--min-share", type=float, help="minimum share of the group in the top-k")
+    suggest.add_argument("--n-cells", type=int, default=1024)
+    suggest.add_argument("--max-hyperplanes", type=int, default=None)
+    suggest.add_argument(
+        "--weights", required=True, help="comma-separated non-negative weights, e.g. 0.5,0.3,0.2"
+    )
+    suggest.add_argument(
+        "--explain",
+        action="store_true",
+        help="also explain what the suggested repair changes about the top-k",
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument(
+        "name",
+        choices=["fig16", "fig17", "layouts", "online2d", "onlinemd", "sampling"],
+        help="experiment identifier (see DESIGN.md)",
+    )
+
+    audit = subparsers.add_parser(
+        "audit", help="compute every fairness measure for a weight vector on a dataset"
+    )
+    audit.add_argument("--dataset", choices=["compas", "dot"], default="compas")
+    audit.add_argument("--csv", help="load the dataset from a CSV instead of generating it")
+    audit.add_argument("--n", type=int, default=500, help="synthetic dataset size")
+    audit.add_argument("--d", type=int, default=3, help="number of scoring attributes")
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--attribute", required=True, help="type attribute to audit")
+    audit.add_argument("--group", required=True, help="protected group value")
+    audit.add_argument("--k", type=float, default=0.3, help="top-k (count or fraction)")
+    audit.add_argument(
+        "--weights", required=True, help="comma-separated non-negative weights, e.g. 0.5,0.3,0.2"
+    )
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate figure data files (CSV + ASCII chart) at reduced scale"
+    )
+    figures.add_argument("--output", default="figures", help="output directory")
+    figures.add_argument(
+        "--names",
+        help="comma-separated figure names (default: all); see repro.experiments.FIGURE_GENERATORS",
+    )
+    return parser
+
+
+def _load_dataset(args: argparse.Namespace) -> Dataset:
+    if args.csv:
+        return Dataset.from_csv(args.csv)
+    if args.dataset == "compas":
+        dataset = make_compas_like(n=args.n, seed=args.seed)
+        return dataset.project(list(COMPAS_SCORING_ATTRIBUTES[: args.d]))
+    return make_dot_like(n=args.n, seed=args.seed)
+
+
+def _run_suggest(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    if args.max_share is None and args.min_share is None:
+        print("error: provide --max-share and/or --min-share", file=sys.stderr)
+        return 2
+    k = args.k if args.k < 1 else int(args.k)
+    oracle = ProportionalOracle(
+        args.attribute,
+        args.group,
+        k=k,
+        min_fraction=args.min_share,
+        max_fraction=args.max_share,
+    )
+    weights = [float(value) for value in args.weights.split(",")]
+    designer = FairRankingDesigner(
+        dataset,
+        oracle,
+        n_cells=args.n_cells,
+        max_hyperplanes=args.max_hyperplanes,
+    ).preprocess()
+    result = designer.suggest(weights)
+    if result.satisfactory:
+        print("The proposed weights already satisfy the fairness constraint.")
+    else:
+        suggested = ", ".join(f"{value:.4f}" for value in result.function.weights)
+        print("The proposed weights violate the fairness constraint.")
+        print(f"Closest satisfactory weights: [{suggested}]")
+        print(
+            f"Angular distance: {result.angular_distance:.4f} rad "
+            f"(cosine similarity {result.cosine_similarity():.4f})"
+        )
+    if getattr(args, "explain", False):
+        print()
+        print(format_explanation(explain_repair(dataset, result, k=k)))
+    return 0
+
+
+def _run_experiment(name: str) -> int:
+    if name == "fig16":
+        result = experiment_fig16_validation()
+        print(f"queries: {result.n_queries}, already satisfactory: {result.n_already_satisfactory}")
+        for threshold, count in result.cumulative_counts().items():
+            print(f"  suggestions with distance < {threshold}: {count}")
+        print(f"  max suggestion distance: {result.max_distance:.4f}")
+    elif name == "fig17":
+        print(format_sweep(experiment_fig17_2d_preprocessing()))
+    elif name == "layouts":
+        for layout in experiment_sec62_layouts():
+            print(
+                f"{layout.name}: regions={layout.n_regions}, "
+                f"satisfactory angle={layout.total_satisfactory_angle:.3f}, "
+                f"max repair={layout.max_repair_distance:.3f}"
+            )
+    elif name == "online2d":
+        timing = experiment_online_2d(n_items=2000)
+        print(
+            f"2DONLINE: {timing.mean_query_seconds * 1e6:.1f} us/query vs "
+            f"{timing.mean_ordering_seconds * 1e3:.2f} ms to sort (x{timing.speedup:.0f})"
+        )
+    elif name == "onlinemd":
+        for timing in experiment_online_md(n_items=300):
+            print(
+                f"{timing.label}: {timing.mean_query_seconds * 1e6:.1f} us/query vs "
+                f"{timing.mean_ordering_seconds * 1e3:.2f} ms to sort (x{timing.speedup:.0f})"
+            )
+    elif name == "sampling":
+        result = experiment_sampling_dot(full_size=50_000)
+        print(
+            f"sample={result.sample_size} of {result.full_size}; preprocessing "
+            f"{result.preprocess_seconds:.1f}s; {result.n_satisfactory_on_full}/"
+            f"{result.n_functions_checked} assigned functions satisfactory on the full data"
+        )
+    return 0
+
+
+def _run_audit(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    weights = [float(value) for value in args.weights.split(",")]
+    k = args.k if args.k < 1 else int(args.k)
+    function = LinearScoringFunction(tuple(weights))
+    audit = audit_function(dataset, function, args.attribute, args.group, k=k)
+    print(format_audit(audit, title=f"fairness audit of weights [{args.weights}]"))
+    return 0
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    names = [name.strip() for name in args.names.split(",")] if args.names else None
+    written = generate_figures(args.output, names=names)
+    for name, (csv_path, txt_path) in written.items():
+        print(f"{name}: {csv_path} {txt_path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "suggest":
+        return _run_suggest(args)
+    if args.command == "audit":
+        return _run_audit(args)
+    if args.command == "figures":
+        return _run_figures(args)
+    return _run_experiment(args.name)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

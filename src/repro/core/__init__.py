@@ -1,0 +1,63 @@
+"""Core contribution: offline indexing of satisfactory regions and online query answering."""
+
+from repro.core.approx import (
+    ApproximatePreprocessor,
+    MDApproxIndex,
+    PreprocessingTimings,
+    md_online,
+    md_online_lookup,
+)
+from repro.core.explain import (
+    RepairExplanation,
+    TopKDelta,
+    explain_repair,
+    format_explanation,
+)
+from repro.core.monitoring import (
+    FreshnessReport,
+    check_approx_index_freshness,
+    check_two_d_index_freshness,
+    refresh_approx_index,
+)
+from repro.core.multi_dim import MDExactIndex, SatisfactoryRegion, SatRegions, md_baseline
+from repro.core.result import SuggestionResult
+from repro.core.sampling import (
+    SampleValidationReport,
+    preprocess_with_sampling,
+    validate_index_on_dataset,
+)
+from repro.core.session import DesignSession, ProposalRecord, SessionSummary
+from repro.core.system import FairRankingDesigner
+from repro.core.two_dim import AngularInterval, TwoDIndex, TwoDRaySweep, two_d_online
+
+__all__ = [
+    "SuggestionResult",
+    "AngularInterval",
+    "TwoDIndex",
+    "TwoDRaySweep",
+    "two_d_online",
+    "SatisfactoryRegion",
+    "MDExactIndex",
+    "SatRegions",
+    "md_baseline",
+    "ApproximatePreprocessor",
+    "MDApproxIndex",
+    "PreprocessingTimings",
+    "md_online",
+    "md_online_lookup",
+    "SampleValidationReport",
+    "preprocess_with_sampling",
+    "validate_index_on_dataset",
+    "FreshnessReport",
+    "check_approx_index_freshness",
+    "check_two_d_index_freshness",
+    "refresh_approx_index",
+    "DesignSession",
+    "ProposalRecord",
+    "SessionSummary",
+    "RepairExplanation",
+    "TopKDelta",
+    "explain_repair",
+    "format_explanation",
+    "FairRankingDesigner",
+]

@@ -1,0 +1,226 @@
+"""Explanations of what a suggested weight repair actually changes.
+
+A suggested function is only useful to a human designer if she can see *why*
+her proposal was rejected and *what* the repair does to the outcome.  This
+module turns a :class:`~repro.core.result.SuggestionResult` into that story:
+
+* which items enter and leave the top-``k`` when moving from the proposed
+  weights to the suggested ones,
+* how the per-group composition of the top-``k`` shifts for every type
+  attribute, and
+* how each attribute's weight changes (after normalising both vectors to unit
+  length, since only the direction matters).
+
+The report is a plain dataclass plus a text renderer, so it can be printed in
+a terminal session, logged, or attached to a :class:`~repro.core.session.DesignSession`
+audit trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.result import SuggestionResult
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.ranking.scoring import LinearScoringFunction
+from repro.ranking.topk import group_counts_at_k, resolve_k
+
+__all__ = ["TopKDelta", "RepairExplanation", "explain_repair", "format_explanation"]
+
+
+@dataclass(frozen=True)
+class TopKDelta:
+    """How the top-``k`` changes between two scoring functions.
+
+    Attributes
+    ----------
+    k:
+        Size of the compared prefix.
+    entering:
+        Item indices present in the suggestion's top-``k`` but not the query's,
+        in the suggestion's rank order.
+    leaving:
+        Item indices present in the query's top-``k`` but not the suggestion's,
+        in the query's rank order.
+    staying:
+        Number of items common to both prefixes.
+    """
+
+    k: int
+    entering: tuple[int, ...]
+    leaving: tuple[int, ...]
+    staying: int
+
+    @property
+    def turnover(self) -> float:
+        """Fraction of the top-``k`` that changed (0 = identical prefixes)."""
+        if self.k == 0:
+            return 0.0
+        return len(self.entering) / self.k
+
+
+@dataclass(frozen=True)
+class RepairExplanation:
+    """Full explanation of a weight repair.
+
+    Attributes
+    ----------
+    result:
+        The suggestion being explained.
+    k:
+        The top-``k`` size the explanation refers to.
+    weight_changes:
+        Per-attribute change of the unit-normalised weights
+        (``suggested - proposed``), keyed by attribute name.
+    delta:
+        The :class:`TopKDelta` between the two prefixes.
+    group_counts_before, group_counts_after:
+        Per type attribute, the group counts in the query's / suggestion's
+        top-``k``.
+    """
+
+    result: SuggestionResult
+    k: int
+    weight_changes: Mapping[str, float]
+    delta: TopKDelta
+    group_counts_before: Mapping[str, Mapping[object, int]]
+    group_counts_after: Mapping[str, Mapping[object, int]]
+
+
+def _unit(weights: np.ndarray) -> np.ndarray:
+    return weights / np.linalg.norm(weights)
+
+
+def _topk_delta(
+    dataset: Dataset,
+    query: LinearScoringFunction,
+    suggestion: LinearScoringFunction,
+    k: int,
+) -> TopKDelta:
+    query_top = [int(item) for item in query.top_k(dataset, k)]
+    suggested_top = [int(item) for item in suggestion.top_k(dataset, k)]
+    query_set = set(query_top)
+    suggested_set = set(suggested_top)
+    entering = tuple(item for item in suggested_top if item not in query_set)
+    leaving = tuple(item for item in query_top if item not in suggested_set)
+    return TopKDelta(
+        k=k,
+        entering=entering,
+        leaving=leaving,
+        staying=len(query_set & suggested_set),
+    )
+
+
+def explain_repair(
+    dataset: Dataset,
+    result: SuggestionResult,
+    k: int | float,
+) -> RepairExplanation:
+    """Explain what the suggested repair changes about the top-``k``.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset the suggestion refers to.
+    result:
+        A :class:`~repro.core.result.SuggestionResult` (from any pipeline).
+    k:
+        The top-``k`` size to explain (count or fraction of the dataset).
+
+    Raises
+    ------
+    ConfigurationError
+        If the result's functions do not match the dataset's dimensionality.
+    """
+    if result.query.dimension != dataset.n_attributes:
+        raise ConfigurationError(
+            "the suggestion's query does not match the dataset's scoring attributes"
+        )
+    resolved_k = resolve_k(dataset, k)
+    query_unit = _unit(result.query.as_array())
+    suggested_unit = _unit(result.function.as_array())
+    weight_changes = {
+        attribute: float(suggested_unit[index] - query_unit[index])
+        for index, attribute in enumerate(dataset.scoring_attributes)
+    }
+    delta = _topk_delta(dataset, result.query, result.function, resolved_k)
+    query_ordering = result.query.order(dataset)
+    suggested_ordering = result.function.order(dataset)
+    before = {
+        attribute: group_counts_at_k(dataset, query_ordering, attribute, resolved_k)
+        for attribute in dataset.type_attributes
+    }
+    after = {
+        attribute: group_counts_at_k(dataset, suggested_ordering, attribute, resolved_k)
+        for attribute in dataset.type_attributes
+    }
+    return RepairExplanation(
+        result=result,
+        k=resolved_k,
+        weight_changes=weight_changes,
+        delta=delta,
+        group_counts_before=before,
+        group_counts_after=after,
+    )
+
+
+def format_explanation(explanation: RepairExplanation, max_items: int = 10) -> str:
+    """Render a repair explanation as a plain-text report.
+
+    Parameters
+    ----------
+    explanation:
+        The explanation to render.
+    max_items:
+        At most this many entering/leaving item indices are listed explicitly.
+    """
+    result = explanation.result
+    lines = []
+    if result.satisfactory:
+        lines.append("The proposed weights already satisfy the fairness constraint.")
+        return "\n".join(lines)
+
+    lines.append(
+        f"The proposed weights violate the constraint; the closest fair weights are "
+        f"{tuple(round(value, 4) for value in result.function.weights)} "
+        f"({result.angular_distance:.4f} rad away)."
+    )
+    lines.append("")
+    lines.append("weight changes (unit-normalised, suggested - proposed):")
+    width = max(len(name) for name in explanation.weight_changes)
+    for attribute, change in explanation.weight_changes.items():
+        lines.append(f"  {attribute.ljust(width)}  {change:+.4f}")
+
+    delta = explanation.delta
+    lines.append("")
+    lines.append(
+        f"top-{delta.k} turnover: {len(delta.entering)} items enter, "
+        f"{len(delta.leaving)} leave, {delta.staying} stay "
+        f"({delta.turnover:.0%} of the prefix changes)."
+    )
+    if delta.entering:
+        shown = ", ".join(str(item) for item in delta.entering[:max_items])
+        suffix = ", ..." if len(delta.entering) > max_items else ""
+        lines.append(f"  entering: {shown}{suffix}")
+    if delta.leaving:
+        shown = ", ".join(str(item) for item in delta.leaving[:max_items])
+        suffix = ", ..." if len(delta.leaving) > max_items else ""
+        lines.append(f"  leaving:  {shown}{suffix}")
+
+    for attribute in explanation.group_counts_before:
+        before = explanation.group_counts_before[attribute]
+        after = explanation.group_counts_after[attribute]
+        groups = sorted(set(before) | set(after), key=str)
+        changes = []
+        for group in groups:
+            before_count = before.get(group, 0)
+            after_count = after.get(group, 0)
+            if before_count != after_count:
+                changes.append(f"{group}: {before_count} -> {after_count}")
+        if changes:
+            lines.append(f"group counts in the top-{delta.k} by {attribute!r}: " + ", ".join(changes))
+    return "\n".join(lines)

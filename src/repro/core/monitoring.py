@@ -1,0 +1,224 @@
+"""Index freshness monitoring and refresh under data drift.
+
+The paper's introduction anticipates that a designed ranking function will be
+reused "for each dataset that follows" as long as the value distribution does
+not change too much, and that the designer "may still wish to verify that we
+continue to meet the required criteria, and adjust our ranking function if
+needed".  This module implements that verification step for a deployed index:
+
+* :func:`check_approx_index_freshness` re-evaluates the function assigned to
+  each cell of an :class:`~repro.core.approx.MDApproxIndex` against a *new*
+  dataset snapshot and reports which cells went stale;
+* :func:`check_two_d_index_freshness` does the same for a 2-D index by probing
+  the interior of every satisfactory interval;
+* :func:`refresh_approx_index` rebuilds the assignment against the new
+  snapshot while keeping the same partition, so cell identities (and any
+  caller-side caches keyed by cell) remain stable.
+
+Cell-level freshness is deliberately finer-grained than the §5.4 sample
+validation in :mod:`repro.core.sampling`, which checks *distinct functions*;
+here the unit is the cell, because an online service answers queries per cell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.approx import ApproximatePreprocessor, MDApproxIndex
+from repro.core.two_dim import TwoDIndex
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.fairness.oracle import FairnessOracle
+from repro.geometry.angles import to_weights
+from repro.ranking.scoring import LinearScoringFunction
+
+__all__ = [
+    "FreshnessReport",
+    "check_approx_index_freshness",
+    "check_two_d_index_freshness",
+    "refresh_approx_index",
+]
+
+
+@dataclass(frozen=True)
+class FreshnessReport:
+    """Result of re-checking an index against a new dataset snapshot.
+
+    Attributes
+    ----------
+    n_checked:
+        Number of cells (or intervals) whose assigned function was re-checked.
+    n_stale:
+        How many of them no longer satisfy the oracle on the new data.
+    stale_indices:
+        The cell indices (or interval positions) that went stale, in order.
+    oracle_calls:
+        Number of oracle evaluations spent on the check.
+    """
+
+    n_checked: int
+    n_stale: int
+    stale_indices: tuple[int, ...]
+    oracle_calls: int
+
+    @property
+    def fraction_stale(self) -> float:
+        """Share of checked assignments that went stale (0 when nothing was checked)."""
+        if self.n_checked == 0:
+            return 0.0
+        return self.n_stale / self.n_checked
+
+    @property
+    def is_fresh(self) -> bool:
+        """True if every checked assignment still satisfies the oracle."""
+        return self.n_stale == 0
+
+
+def check_approx_index_freshness(
+    index: MDApproxIndex,
+    dataset: Dataset,
+    oracle: FairnessOracle | None = None,
+    sample_cells: int | None = None,
+    seed: int | None = 0,
+) -> FreshnessReport:
+    """Re-check the per-cell assignments of an approximate index on new data.
+
+    Parameters
+    ----------
+    index:
+        A preprocessed approximate index.
+    dataset:
+        The new dataset snapshot (same scoring attributes as the index's).
+    oracle:
+        Oracle to check against; defaults to the index's own oracle.
+    sample_cells:
+        If given, only a uniform random subset of this many assigned cells is
+        checked — enough for a quick health check on very fine grids.
+    seed:
+        Seed of the cell subsample.
+    """
+    if dataset.n_attributes != index.dataset.n_attributes:
+        raise ConfigurationError(
+            "the new dataset must have the same scoring attributes as the indexed one"
+        )
+    oracle = oracle if oracle is not None else index.oracle
+    assigned_cells = [
+        cell_index
+        for cell_index, angles in enumerate(index.assigned_angles)
+        if angles is not None
+    ]
+    if sample_cells is not None and sample_cells < len(assigned_cells):
+        if sample_cells < 1:
+            raise ConfigurationError("sample_cells must be at least 1")
+        rng = np.random.default_rng(seed)
+        chosen = rng.choice(len(assigned_cells), size=sample_cells, replace=False)
+        assigned_cells = sorted(assigned_cells[position] for position in chosen)
+
+    stale: list[int] = []
+    oracle_calls = 0
+    for cell_index in assigned_cells:
+        angles = index.assigned_angles[cell_index]
+        function = LinearScoringFunction(tuple(to_weights(np.asarray(angles, dtype=float))))
+        oracle_calls += 1
+        if not oracle.evaluate_function(function, dataset):
+            stale.append(cell_index)
+    return FreshnessReport(
+        n_checked=len(assigned_cells),
+        n_stale=len(stale),
+        stale_indices=tuple(stale),
+        oracle_calls=oracle_calls,
+    )
+
+
+def check_two_d_index_freshness(
+    index: TwoDIndex,
+    dataset: Dataset,
+    oracle: FairnessOracle,
+    probes_per_interval: int = 3,
+) -> FreshnessReport:
+    """Re-check a 2-D index by probing interior angles of every satisfactory interval.
+
+    An interval is stale when *any* of its probes is rejected by the oracle on
+    the new data (the conservative reading: the interval can no longer be
+    served as uniformly satisfactory).
+
+    Parameters
+    ----------
+    index:
+        The 2-D ray-sweep index.
+    dataset:
+        The new dataset snapshot (must have two scoring attributes).
+    oracle:
+        The fairness oracle to check against.
+    probes_per_interval:
+        Number of evenly spaced interior angles probed per interval.
+    """
+    if dataset.n_attributes != 2:
+        raise ConfigurationError("a 2-D index is checked against a 2-attribute dataset")
+    if probes_per_interval < 1:
+        raise ConfigurationError("probes_per_interval must be at least 1")
+    stale: list[int] = []
+    oracle_calls = 0
+    for position, interval in enumerate(index.intervals):
+        fractions = [
+            (probe + 1) / (probes_per_interval + 1) for probe in range(probes_per_interval)
+        ]
+        interval_ok = True
+        for fraction in fractions:
+            angle = interval.start + fraction * (interval.end - interval.start)
+            function = LinearScoringFunction((math.cos(angle), math.sin(angle)))
+            oracle_calls += 1
+            if not oracle.evaluate_function(function, dataset):
+                interval_ok = False
+                break
+        if not interval_ok:
+            stale.append(position)
+    return FreshnessReport(
+        n_checked=len(index.intervals),
+        n_stale=len(stale),
+        stale_indices=tuple(stale),
+        oracle_calls=oracle_calls,
+    )
+
+
+def refresh_approx_index(
+    index: MDApproxIndex,
+    dataset: Dataset,
+    oracle: FairnessOracle | None = None,
+    max_hyperplanes: int | None = None,
+) -> MDApproxIndex:
+    """Rebuild an approximate index against a new dataset, reusing its partition.
+
+    The cell grid (and therefore every cell index) is kept identical to the old
+    index so downstream consumers keyed by cell stay valid; only the exchange
+    hyperplanes, cell assignments and colouring are recomputed from the new
+    data.
+
+    Parameters
+    ----------
+    index:
+        The existing (possibly stale) index.
+    dataset:
+        The new dataset snapshot.
+    oracle:
+        Oracle to preprocess with; defaults to the index's oracle.
+    max_hyperplanes:
+        Optional cap on exchange hyperplanes, as in
+        :class:`~repro.core.approx.ApproximatePreprocessor`.
+    """
+    if dataset.n_attributes != index.dataset.n_attributes:
+        raise ConfigurationError(
+            "the new dataset must have the same scoring attributes as the indexed one"
+        )
+    oracle = oracle if oracle is not None else index.oracle
+    preprocessor = ApproximatePreprocessor(
+        dataset,
+        oracle,
+        n_cells=index.partition.n_cells,
+        partition=index.partition,
+        max_hyperplanes=max_hyperplanes,
+    )
+    return preprocessor.run()

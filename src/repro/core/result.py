@@ -1,0 +1,39 @@
+"""Result objects returned by the online query-answering algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ranking.scoring import LinearScoringFunction
+
+__all__ = ["SuggestionResult"]
+
+
+@dataclass(frozen=True)
+class SuggestionResult:
+    """Answer to a CLOSEST SATISFACTORY FUNCTION query.
+
+    Attributes
+    ----------
+    query:
+        The scoring function the user proposed.
+    satisfactory:
+        True if the query itself already satisfies the fairness oracle (in
+        which case ``function`` equals the query and the distance is zero).
+    function:
+        The suggested satisfactory scoring function (the query itself when it
+        is already satisfactory).
+    angular_distance:
+        Angular distance, in radians, between the query and the suggestion.
+    """
+
+    query: LinearScoringFunction
+    satisfactory: bool
+    function: LinearScoringFunction
+    angular_distance: float
+
+    def cosine_similarity(self) -> float:
+        """Cosine similarity between the query and the suggestion (1 = identical ray)."""
+        import math
+
+        return math.cos(self.angular_distance)

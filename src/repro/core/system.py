@@ -1,0 +1,177 @@
+"""The user-facing facade: :class:`FairRankingDesigner`.
+
+The paper describes a *query answering system*: the user hands it a dataset
+and a fairness oracle, the system preprocesses offline, and then every
+proposed weight vector is answered in interactive time with either "already
+fair" or the closest satisfactory alternative.  ``FairRankingDesigner`` wires
+the right pipeline for the dataset dimensionality and chosen mode:
+
+* ``mode="2d"`` — the exact §3 pipeline (only for two scoring attributes);
+* ``mode="exact"`` — ``SATREGIONS`` + ``MDBASELINE`` (§4), exact but slower;
+* ``mode="approximate"`` — the §5 grid pipeline with the Theorem 6 guarantee
+  (the default for three or more attributes).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.approx import ApproximatePreprocessor, MDApproxIndex, md_online
+from repro.core.multi_dim import MDExactIndex, SatRegions, md_baseline
+from repro.core.result import SuggestionResult
+from repro.core.two_dim import TwoDIndex, TwoDRaySweep
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError, NotPreprocessedError
+from repro.fairness.oracle import FairnessOracle
+from repro.ranking.scoring import LinearScoringFunction
+
+__all__ = ["FairRankingDesigner"]
+
+_MODES = ("auto", "2d", "exact", "approximate")
+
+
+class FairRankingDesigner:
+    """End-to-end system for designing fair linear ranking schemes.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to be ranked.
+    oracle:
+        The fairness oracle that decides which orderings are acceptable.
+    mode:
+        ``"auto"`` (default) picks ``"2d"`` for two scoring attributes and
+        ``"approximate"`` otherwise; the other values force a pipeline.
+    n_cells:
+        Number of grid cells for the approximate pipeline.
+    partition:
+        ``"uniform"`` or ``"angle"`` grid for the approximate pipeline.
+    sample_size:
+        If given, preprocessing runs on a uniform sample of this size (§5.4).
+    max_hyperplanes, convex_layer_k:
+        Passed through to the underlying pipeline (see their documentation).
+
+    Examples
+    --------
+    >>> from repro.data import make_compas_like
+    >>> from repro.fairness import ProportionalOracle
+    >>> dataset = make_compas_like(n=200, seed=1).project(
+    ...     ["c_days_from_compas", "juv_other_count", "start"])
+    >>> oracle = ProportionalOracle.at_most_share_plus_slack(
+    ...     dataset, "race", "African-American", k=0.3, slack=0.10)
+    >>> designer = FairRankingDesigner(dataset, oracle, n_cells=256)
+    >>> _ = designer.preprocess()
+    >>> result = designer.suggest([0.4, 0.3, 0.3])
+    >>> result.function.dimension
+    3
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        oracle: FairnessOracle,
+        mode: str = "auto",
+        n_cells: int = 1024,
+        partition: str = "uniform",
+        sample_size: int | None = None,
+        max_hyperplanes: int | None = None,
+        convex_layer_k: int | None = None,
+    ) -> None:
+        if mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
+        if mode == "2d" and dataset.n_attributes != 2:
+            raise ConfigurationError("mode='2d' requires exactly two scoring attributes")
+        if mode in ("exact", "approximate") and dataset.n_attributes < 3:
+            raise ConfigurationError(f"mode={mode!r} requires at least three scoring attributes")
+        if mode == "auto":
+            mode = "2d" if dataset.n_attributes == 2 else "approximate"
+        self.dataset = dataset
+        self.oracle = oracle
+        self.mode = mode
+        self.n_cells = n_cells
+        self.partition = partition
+        self.sample_size = sample_size
+        self.max_hyperplanes = max_hyperplanes
+        self.convex_layer_k = convex_layer_k
+        self._index: TwoDIndex | MDExactIndex | MDApproxIndex | None = None
+        self._preprocessing_dataset: Dataset | None = None
+
+    # ------------------------------------------------------------------ #
+    # offline phase
+    # ------------------------------------------------------------------ #
+    def preprocess(self) -> "FairRankingDesigner":
+        """Run the offline phase; returns ``self`` so calls can be chained."""
+        working = self.dataset
+        if self.sample_size is not None and self.sample_size < working.n_items:
+            working = working.sample(self.sample_size, seed=0)
+        self._preprocessing_dataset = working
+
+        if self.mode == "2d":
+            self._index = TwoDRaySweep(working, self.oracle).run()
+        elif self.mode == "exact":
+            self._index = SatRegions(
+                working,
+                self.oracle,
+                max_hyperplanes=self.max_hyperplanes,
+                convex_layer_k=self.convex_layer_k,
+            ).run()
+        else:
+            self._index = ApproximatePreprocessor(
+                working,
+                self.oracle,
+                n_cells=self.n_cells,
+                partition=self.partition,
+                max_hyperplanes=self.max_hyperplanes,
+                convex_layer_k=self.convex_layer_k,
+            ).run()
+        return self
+
+    @property
+    def is_preprocessed(self) -> bool:
+        """True once :meth:`preprocess` has run."""
+        return self._index is not None
+
+    @property
+    def index(self) -> TwoDIndex | MDExactIndex | MDApproxIndex:
+        """The underlying offline index (mode specific)."""
+        if self._index is None:
+            raise NotPreprocessedError("call preprocess() first")
+        return self._index
+
+    # ------------------------------------------------------------------ #
+    # online phase
+    # ------------------------------------------------------------------ #
+    def check(self, weights: Sequence[float] | LinearScoringFunction) -> bool:
+        """Return True if the proposed weights already produce a fair ranking."""
+        function = self._as_function(weights)
+        return self.oracle.evaluate_function(function, self.dataset)
+
+    def suggest(self, weights: Sequence[float] | LinearScoringFunction) -> SuggestionResult:
+        """Answer a CLOSEST SATISFACTORY FUNCTION query for the proposed weights."""
+        function = self._as_function(weights)
+        index = self.index
+        if self.mode == "2d":
+            assert isinstance(index, TwoDIndex)
+            return index.query(function)
+        if self.mode == "exact":
+            assert isinstance(index, MDExactIndex)
+            assert self._preprocessing_dataset is not None
+            return md_baseline(self._preprocessing_dataset, self.oracle, index, function)
+        assert isinstance(index, MDApproxIndex)
+        return md_online(index, function)
+
+    def _as_function(
+        self, weights: Sequence[float] | LinearScoringFunction
+    ) -> LinearScoringFunction:
+        if isinstance(weights, LinearScoringFunction):
+            function = weights
+        else:
+            function = LinearScoringFunction(tuple(np.asarray(weights, dtype=float)))
+        if function.dimension != self.dataset.n_attributes:
+            raise ConfigurationError(
+                f"the query has {function.dimension} weights but the dataset has "
+                f"{self.dataset.n_attributes} scoring attributes"
+            )
+        return function

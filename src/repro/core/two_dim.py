@@ -1,0 +1,244 @@
+"""The two-dimensional pipeline: ``2DRAYSWEEP`` offline and ``2DONLINE`` online (§3).
+
+In 2-D every ranking function is a single angle ``θ ∈ [0, π/2]`` with the
+x-axis, and every pair of non-dominated items exchanges order at exactly one
+angle.  Sweeping a ray from the x-axis to the y-axis and swapping pairs at
+their exchange angles visits every distinct ordering exactly once, so the
+fairness oracle needs to be evaluated only once per *sector* between
+consecutive exchange angles.  Adjacent satisfactory sectors are merged into
+*satisfactory regions*; online queries then binary-search the sorted region
+list (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import GeometryError, NoSatisfactoryFunctionError, NotPreprocessedError
+from repro.fairness.oracle import FairnessOracle
+from repro.geometry.angles import HALF_PI
+from repro.geometry.dual import build_exchange_angles_2d
+from repro.core.result import SuggestionResult
+from repro.ranking.scoring import LinearScoringFunction
+
+__all__ = ["AngularInterval", "TwoDIndex", "TwoDRaySweep", "two_d_online"]
+
+#: Exchange angles closer than this are processed as a single sweep event.
+_ANGLE_GROUP_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class AngularInterval:
+    """A closed interval ``[start, end]`` of satisfactory angles."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start <= self.end <= HALF_PI + 1e-12:
+            raise GeometryError(f"invalid angular interval [{self.start}, {self.end}]")
+
+    def contains(self, angle: float, tolerance: float = 1e-12) -> bool:
+        """Return True if the angle lies in the interval."""
+        return self.start - tolerance <= angle <= self.end + tolerance
+
+    def distance_to(self, angle: float) -> float:
+        """Distance from an angle to the interval (0 if inside)."""
+        if self.contains(angle):
+            return 0.0
+        return min(abs(angle - self.start), abs(angle - self.end))
+
+    def closest_angle_to(self, angle: float) -> float:
+        """The interval point closest to ``angle``."""
+        if self.contains(angle):
+            return angle
+        return self.start if abs(angle - self.start) <= abs(angle - self.end) else self.end
+
+
+@dataclass
+class TwoDIndex:
+    """The sorted list of satisfactory angular regions produced by the ray sweep.
+
+    Attributes
+    ----------
+    intervals:
+        Maximal satisfactory intervals, sorted by start angle and disjoint.
+    n_exchanges:
+        Number of ordering exchanges found (the left axis of paper Fig. 17).
+    oracle_calls:
+        Number of fairness-oracle evaluations made during the sweep.
+    """
+
+    intervals: list[AngularInterval] = field(default_factory=list)
+    n_exchanges: int = 0
+    oracle_calls: int = 0
+
+    @property
+    def has_satisfactory_region(self) -> bool:
+        """True if any function at all is satisfactory."""
+        return bool(self.intervals)
+
+    def is_satisfactory_angle(self, angle: float) -> bool:
+        """Return True if the given angle falls inside a satisfactory region."""
+        position = bisect.bisect_right([interval.start for interval in self.intervals], angle)
+        for candidate in (position - 1, position):
+            if 0 <= candidate < len(self.intervals) and self.intervals[candidate].contains(angle):
+                return True
+        return False
+
+    def query(self, function: LinearScoringFunction) -> SuggestionResult:
+        """Answer a CLOSEST SATISFACTORY FUNCTION query (Algorithm 2, ``2DONLINE``).
+
+        Runs a binary search over the sorted satisfactory intervals; the
+        suggestion preserves the query's weight magnitude (only the direction
+        changes), as in the paper.
+
+        Raises
+        ------
+        NoSatisfactoryFunctionError
+            If the index contains no satisfactory region at all.
+        NotPreprocessedError
+            If the index is empty because preprocessing never ran.
+        """
+        if self.oracle_calls == 0 and not self.intervals:
+            raise NotPreprocessedError("run TwoDRaySweep before issuing online queries")
+        if not self.intervals:
+            raise NoSatisfactoryFunctionError(
+                "no scoring function satisfies the fairness constraint on this dataset"
+            )
+        if function.dimension != 2:
+            raise GeometryError("TwoDIndex answers 2-dimensional queries only")
+        weights = function.as_array()
+        radius = float(np.linalg.norm(weights))
+        angle = math.atan2(weights[1], weights[0])
+
+        starts = [interval.start for interval in self.intervals]
+        position = bisect.bisect_right(starts, angle)
+        candidates = [
+            self.intervals[index]
+            for index in (position - 1, position)
+            if 0 <= index < len(self.intervals)
+        ]
+        for interval in candidates:
+            if interval.contains(angle):
+                return SuggestionResult(
+                    query=function,
+                    satisfactory=True,
+                    function=function,
+                    angular_distance=0.0,
+                )
+        best_interval = min(self.intervals, key=lambda interval: interval.distance_to(angle))
+        best_angle = best_interval.closest_angle_to(angle)
+        # Interval endpoints are exact ordering-exchange angles, where the
+        # ordering is tied and the oracle verdict is ambiguous; nudge the
+        # suggestion slightly into the interval's interior so the returned
+        # function provably induces the satisfactory ordering.
+        width = best_interval.end - best_interval.start
+        nudge = min(1e-7, 0.25 * width)
+        if best_angle == best_interval.start:
+            best_angle += nudge
+        elif best_angle == best_interval.end:
+            best_angle -= nudge
+        suggestion = LinearScoringFunction(
+            (radius * math.cos(best_angle), radius * math.sin(best_angle))
+        )
+        return SuggestionResult(
+            query=function,
+            satisfactory=False,
+            function=suggestion,
+            angular_distance=abs(angle - best_angle),
+        )
+
+
+class TwoDRaySweep:
+    """Offline indexing of satisfactory regions in 2-D (Algorithm 1, ``2DRAYSWEEP``).
+
+    Parameters
+    ----------
+    dataset:
+        A dataset with exactly two scoring attributes.
+    oracle:
+        The fairness oracle that labels orderings.
+    """
+
+    def __init__(self, dataset: Dataset, oracle: FairnessOracle) -> None:
+        if dataset.n_attributes != 2:
+            raise GeometryError("TwoDRaySweep requires a dataset with exactly 2 scoring attributes")
+        self.dataset = dataset
+        self.oracle = oracle
+
+    def run(self) -> TwoDIndex:
+        """Sweep the ray from the x-axis to the y-axis and index satisfactory regions."""
+        exchanges = sorted(build_exchange_angles_2d(self.dataset))
+        index = TwoDIndex(n_exchanges=len(exchanges))
+
+        # Ordering at angle 0 (f = x): descending x, ties broken by descending y
+        # (the order that holds for angles slightly above 0), then by item index.
+        scores = self.dataset.scores
+        ordering = sorted(
+            range(self.dataset.n_items), key=lambda item: (-scores[item, 0], -scores[item, 1], item)
+        )
+        position_of = {item: position for position, item in enumerate(ordering)}
+
+        # Sector boundaries: 0, the grouped exchange angles, π/2.
+        grouped: list[tuple[float, list[tuple[int, int]]]] = []
+        for angle, i, j in exchanges:
+            if grouped and abs(angle - grouped[-1][0]) <= _ANGLE_GROUP_TOLERANCE:
+                grouped[-1][1].append((i, j))
+            else:
+                grouped.append((angle, [(i, j)]))
+
+        satisfactory_flags: list[bool] = []
+        sector_bounds: list[tuple[float, float]] = []
+        previous_angle = 0.0
+
+        def evaluate_current() -> bool:
+            index.oracle_calls += 1
+            return self.oracle.is_satisfactory(np.asarray(ordering, dtype=int), self.dataset)
+
+        for angle, pairs in grouped:
+            if angle > previous_angle:
+                sector_bounds.append((previous_angle, angle))
+                satisfactory_flags.append(evaluate_current())
+                previous_angle = angle
+            for i, j in pairs:
+                position_i, position_j = position_of[i], position_of[j]
+                ordering[position_i], ordering[position_j] = ordering[position_j], ordering[position_i]
+                position_of[i], position_of[j] = position_j, position_i
+        sector_bounds.append((previous_angle, HALF_PI))
+        satisfactory_flags.append(evaluate_current())
+
+        index.intervals = _merge_sectors(sector_bounds, satisfactory_flags)
+        return index
+
+
+def _merge_sectors(
+    bounds: list[tuple[float, float]], flags: list[bool]
+) -> list[AngularInterval]:
+    """Merge consecutive satisfactory sectors into maximal intervals."""
+    intervals: list[AngularInterval] = []
+    current_start: float | None = None
+    current_end: float | None = None
+    for (start, end), satisfactory in zip(bounds, flags):
+        if satisfactory:
+            if current_start is None:
+                current_start, current_end = start, end
+            else:
+                current_end = end
+        else:
+            if current_start is not None:
+                intervals.append(AngularInterval(current_start, current_end))
+                current_start = current_end = None
+    if current_start is not None:
+        intervals.append(AngularInterval(current_start, current_end))
+    return intervals
+
+
+def two_d_online(index: TwoDIndex, function: LinearScoringFunction) -> SuggestionResult:
+    """Functional alias of :meth:`TwoDIndex.query` matching the paper's ``2DONLINE`` name."""
+    return index.query(function)

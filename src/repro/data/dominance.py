@@ -1,0 +1,69 @@
+"""Pareto dominance utilities.
+
+The paper (footnote 4, §3.2) skips ordering exchanges between pairs of items
+where one *dominates* the other: if ``t[i] >= t'[i]`` on every scoring
+attribute and strictly greater on at least one, then no non-negative weight
+vector can rank ``t'`` above ``t``, so the pair never swaps and contributes no
+exchange hyperplane.  These helpers are used by both the 2-D ray sweep and the
+multi-dimensional arrangement construction, and also power the skyline /
+convex-layer optimisations in :mod:`repro.data.layers`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+__all__ = ["dominates", "dominance_matrix", "skyline_indices", "non_dominated_pairs"]
+
+
+def dominates(first: np.ndarray, second: np.ndarray) -> bool:
+    """Return ``True`` if ``first`` Pareto-dominates ``second``.
+
+    Dominance is component-wise ``>=`` with at least one strict ``>`` (paper
+    footnote 4).  Equal vectors do not dominate each other.
+    """
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.shape != second.shape:
+        raise DatasetError("dominance requires vectors of equal dimension")
+    return bool(np.all(first >= second) and np.any(first > second))
+
+
+def dominance_matrix(scores: np.ndarray) -> np.ndarray:
+    """Return a boolean matrix ``M`` with ``M[i, j]`` true iff item i dominates item j.
+
+    Vectorised over all pairs; O(n^2 d) time, O(n^2) memory.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise DatasetError("dominance_matrix expects an (n, d) matrix")
+    greater_equal = np.all(scores[:, None, :] >= scores[None, :, :], axis=2)
+    strictly_greater = np.any(scores[:, None, :] > scores[None, :, :], axis=2)
+    return greater_equal & strictly_greater
+
+
+def skyline_indices(scores: np.ndarray) -> np.ndarray:
+    """Return indices of the skyline (Pareto-optimal items, the first convex layer's superset).
+
+    An item is on the skyline iff no other item dominates it.
+    """
+    matrix = dominance_matrix(scores)
+    dominated = np.any(matrix, axis=0)
+    return np.flatnonzero(~dominated)
+
+
+def non_dominated_pairs(scores: np.ndarray) -> list[tuple[int, int]]:
+    """Return all index pairs ``(i, j)`` with ``i < j`` where neither item dominates the other.
+
+    These are exactly the pairs that produce an ordering-exchange hyperplane.
+    """
+    matrix = dominance_matrix(scores)
+    n = matrix.shape[0]
+    pairs: list[tuple[int, int]] = []
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            if not matrix[i, j] and not matrix[j, i]:
+                pairs.append((i, j))
+    return pairs

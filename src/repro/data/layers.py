@@ -1,0 +1,119 @@
+"""Convex layers ("onion technique") for top-k pruning.
+
+Section 8 of the paper notes, as future work, that when the fairness oracle
+only inspects the top-``k`` of the ordering, items outside the first ``k``
+*convex layers* can never appear in the top-``k`` of any linear function, so
+their ordering exchanges are irrelevant.  We implement that optimisation here
+so it can be ablated in ``benchmarks/bench_ablation_layers.py``.
+
+The convex layers of a point set are computed by repeatedly peeling the upper
+convex hull (the portion of the hull that can be touched by a non-negative
+linear maximisation); item indices are returned grouped by layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dominance import skyline_indices
+from repro.exceptions import DatasetError
+
+__all__ = ["upper_hull_indices", "convex_layers", "topk_candidate_indices"]
+
+
+def _upper_hull_2d(points: np.ndarray) -> np.ndarray:
+    """Return indices (into ``points``) of the 2-D upper-right convex hull.
+
+    The hull is the maximal chain touched by maximising ``w1*x + w2*y`` over
+    non-negative, not-both-zero weights.  Points are processed in decreasing
+    ``x`` order, keeping a chain that turns consistently.
+    """
+    order = np.lexsort((points[:, 1], points[:, 0]))[::-1]
+    chain: list[int] = []
+    for index in order:
+        point = points[index]
+        while len(chain) >= 2:
+            a = points[chain[-2]]
+            b = points[chain[-1]]
+            cross = (b[0] - a[0]) * (point[1] - a[1]) - (b[1] - a[1]) * (point[0] - a[0])
+            if cross <= 0:
+                chain.pop()
+            else:
+                break
+        chain.append(int(index))
+    # Keep only points that are not dominated within the chain: the chain built
+    # above may include points below the staircase when x ties occur.
+    keep: list[int] = []
+    best_y = -np.inf
+    for index in chain:
+        y = points[index, 1]
+        if y > best_y - 1e-15:
+            keep.append(index)
+            best_y = max(best_y, y)
+    return np.asarray(sorted(set(keep)), dtype=int)
+
+
+def upper_hull_indices(scores: np.ndarray) -> np.ndarray:
+    """Return indices of items on the upper convex hull of the point set.
+
+    In 2-D an exact upper-hull chain is used.  In higher dimensions we fall
+    back to the skyline (a superset of the hull that preserves correctness of
+    the pruning: anything achievable at rank 1 by a linear function lies on the
+    skyline).
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise DatasetError("upper_hull_indices expects an (n, d) matrix")
+    if scores.shape[1] == 2:
+        return _upper_hull_2d(scores)
+    return skyline_indices(scores)
+
+
+def convex_layers(scores: np.ndarray, max_layers: int | None = None) -> list[np.ndarray]:
+    """Peel the point set into convex layers.
+
+    Parameters
+    ----------
+    scores:
+        ``(n, d)`` matrix of scoring attributes.
+    max_layers:
+        Stop after this many layers (``None`` peels everything).
+
+    Returns
+    -------
+    list of numpy.ndarray
+        ``layers[i]`` holds the original item indices on layer ``i``.
+    """
+    scores = np.asarray(scores, dtype=float)
+    remaining = np.arange(scores.shape[0])
+    layers: list[np.ndarray] = []
+    while remaining.size:
+        if max_layers is not None and len(layers) >= max_layers:
+            break
+        hull_local = upper_hull_indices(scores[remaining])
+        layer = remaining[hull_local]
+        layers.append(np.sort(layer))
+        mask = np.ones(remaining.size, dtype=bool)
+        mask[hull_local] = False
+        remaining = remaining[mask]
+    return layers
+
+
+def topk_candidate_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Return indices of all items that can appear in some top-``k``.
+
+    The union of the first ``k`` convex layers is a superset of the items that
+    any linear scoring function with non-negative weights can place in its
+    top-``k`` (paper §8).  Restricting ordering-exchange construction to this
+    set preserves the oracle verdict for top-``k`` oracles while shrinking the
+    arrangement.
+    """
+    if k <= 0:
+        raise DatasetError("k must be positive")
+    scores = np.asarray(scores, dtype=float)
+    if k >= scores.shape[0]:
+        return np.arange(scores.shape[0])
+    layers = convex_layers(scores, max_layers=k)
+    if not layers:
+        return np.arange(scores.shape[0])
+    return np.sort(np.concatenate(layers))

@@ -1,0 +1,127 @@
+"""Figure artifact generation: one CSV + one ASCII chart per reproduced figure.
+
+The benchmark suite regenerates each figure's data and asserts its shape; this
+module adds a way to *materialise* those figures as files, so the reproduction
+can be inspected and re-plotted outside of pytest.  Each entry of
+:data:`FIGURE_GENERATORS` produces a :class:`~repro.experiments.harness.SweepResult`
+at a reduced (laptop-friendly) scale; :func:`generate_figures` writes the
+corresponding ``<name>.csv`` and ``<name>.txt`` artifacts into an output
+directory.  The CLI exposes this as ``repro-fair-ranking figures``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.harness import SweepResult
+from repro.experiments.workloads import (
+    experiment_fig16_validation,
+    experiment_fig17_2d_preprocessing,
+    experiment_fig18_arrangement_tree,
+    experiment_fig19_region_growth,
+    experiment_fig20_hyperplanes,
+    experiment_fig21_cell_hyperplanes,
+    experiment_fig22_preprocessing_vs_n,
+    experiment_fig23_preprocessing_vs_d,
+)
+from repro.viz.export import write_figure_artifacts
+
+__all__ = ["FIGURE_GENERATORS", "generate_figures", "figure_fig16_sweep", "figure_fig21_sweep"]
+
+
+def figure_fig16_sweep(
+    thresholds: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6),
+    **kwargs,
+) -> SweepResult:
+    """Figure 16 as a cumulative curve: #repaired queries within each distance threshold."""
+    validation = experiment_fig16_validation(**kwargs)
+    sweep = SweepResult(parameter="distance_threshold")
+    series = sweep.series_named("repairs_within_threshold")
+    for threshold, count in validation.cumulative_counts(thresholds).items():
+        series.add(threshold, count)
+    return sweep
+
+
+def figure_fig21_sweep(**kwargs) -> SweepResult:
+    """Figure 21 as a curve: cells sorted by the number of hyperplanes crossing them."""
+    counts = np.asarray(experiment_fig21_cell_hyperplanes(**kwargs))
+    sweep = SweepResult(parameter="cell_rank")
+    series = sweep.series_named("hyperplanes_through_cell")
+    for rank, count in enumerate(counts.tolist()):
+        series.add(rank, count)
+    return sweep
+
+
+#: Figure name -> (generator returning a SweepResult at small scale, use a log y axis).
+FIGURE_GENERATORS: Mapping[str, tuple[Callable[[], SweepResult], bool]] = {
+    "fig16_validation": (
+        lambda: figure_fig16_sweep(n_items=300, n_queries=60, n_cells=256, max_hyperplanes=200),
+        False,
+    ),
+    "fig17_2d_preprocessing": (
+        lambda: experiment_fig17_2d_preprocessing(n_values=(100, 200, 400)),
+        True,
+    ),
+    "fig18_arrangement_tree": (
+        lambda: experiment_fig18_arrangement_tree(hyperplane_counts=(10, 20, 40)),
+        True,
+    ),
+    "fig19_region_growth": (
+        lambda: experiment_fig19_region_growth(checkpoints=(10, 20, 40)),
+        False,
+    ),
+    "fig20_hyperplanes": (
+        lambda: experiment_fig20_hyperplanes(n_values=(50, 100, 200)),
+        True,
+    ),
+    "fig21_cell_hyperplanes": (
+        lambda: figure_fig21_sweep(n_items=60, n_cells=256, max_hyperplanes=200),
+        False,
+    ),
+    "fig22_preprocessing_vs_n": (
+        lambda: experiment_fig22_preprocessing_vs_n(n_values=(50, 100), n_cells=144,
+                                                    max_hyperplanes=150),
+        True,
+    ),
+    "fig23_preprocessing_vs_d": (
+        lambda: experiment_fig23_preprocessing_vs_d(d_values=(3, 4), n_items=60, n_cells=144,
+                                                    max_hyperplanes=120),
+        True,
+    ),
+}
+
+
+def generate_figures(
+    directory: str | Path,
+    names: Sequence[str] | None = None,
+) -> dict[str, tuple[Path, Path]]:
+    """Generate figure artifacts (CSV + ASCII chart) for the requested figures.
+
+    Parameters
+    ----------
+    directory:
+        Output directory (created if missing).
+    names:
+        Figure names from :data:`FIGURE_GENERATORS`; defaults to all of them.
+
+    Returns
+    -------
+    dict
+        Mapping from figure name to the ``(csv_path, txt_path)`` written.
+    """
+    selected = list(names) if names is not None else list(FIGURE_GENERATORS)
+    unknown = [name for name in selected if name not in FIGURE_GENERATORS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown figure names {unknown}; available: {sorted(FIGURE_GENERATORS)}"
+        )
+    written: dict[str, tuple[Path, Path]] = {}
+    for name in selected:
+        generator, log_y = FIGURE_GENERATORS[name]
+        sweep = generator()
+        written[name] = write_figure_artifacts(sweep, directory, name, title=name, log_y=log_y)
+    return written

@@ -1,0 +1,167 @@
+"""Post-processing baselines from the related work (§7).
+
+The paper positions its *design-time* approach against prior work that
+mitigates unfairness *after* scoring, by re-ordering the output:
+
+* **FA*IR** (Zehlike et al., CIKM 2017) greedily interleaves protected-group
+  members so that every prefix of the top-``k`` contains at least a minimum
+  number of them; and
+* **constrained top-``k`` selection** in the spirit of Celis et al. (2017),
+  which picks the highest-scoring feasible set subject to per-group upper
+  bounds and returns it in score order.
+
+These re-rankers are *baselines*: they change the output ordering rather than
+the scoring function, so the resulting ranking is no longer consistent with
+any linear function over the attributes.  Examples and benchmarks use them to
+contrast the two philosophies (output intervention vs. weight design).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import NoSatisfactoryFunctionError, OracleError
+from repro.ranking.topk import resolve_k
+
+__all__ = ["greedy_fair_rerank", "constrained_topk"]
+
+
+def greedy_fair_rerank(
+    dataset: Dataset,
+    ordering: np.ndarray,
+    attribute: str,
+    protected,
+    k: int | float,
+    min_protected_fraction: float,
+) -> np.ndarray:
+    """FA*IR-style greedy re-ranking of the top-``k``.
+
+    Walks the ranking positions in order; at each position the constraint
+    "at least ``ceil(min_protected_fraction * position)`` protected members so
+    far" must hold, otherwise the best not-yet-used protected candidate is
+    promoted to that position.  The remainder of the list (beyond ``k``) is
+    appended unchanged.
+
+    Returns
+    -------
+    numpy.ndarray
+        A full ordering (permutation of all items) whose top-``k`` satisfies
+        the prefix constraint.
+
+    Raises
+    ------
+    NoSatisfactoryFunctionError
+        If there are not enough protected candidates to meet the constraint.
+    """
+    if not 0.0 <= min_protected_fraction <= 1.0:
+        raise OracleError("min_protected_fraction must lie in [0, 1]")
+    ordering = np.asarray(ordering, dtype=int)
+    k_count = resolve_k(dataset, k)
+    column = dataset.type_column(attribute)
+    is_protected = column == protected
+
+    protected_queue = [item for item in ordering if is_protected[item]]
+    other_queue = [item for item in ordering if not is_protected[item]]
+    if len(protected_queue) < int(np.ceil(min_protected_fraction * k_count)):
+        raise NoSatisfactoryFunctionError(
+            "not enough protected candidates to satisfy the prefix constraint"
+        )
+
+    reranked: list[int] = []
+    protected_so_far = 0
+    protected_position = 0
+    other_position = 0
+    for position in range(1, k_count + 1):
+        required = int(np.ceil(min_protected_fraction * position - 1e-9))
+        must_take_protected = protected_so_far < required
+        take_protected: bool
+        if must_take_protected:
+            take_protected = True
+        elif other_position >= len(other_queue):
+            take_protected = True
+        elif protected_position >= len(protected_queue):
+            take_protected = False
+        else:
+            # Both queues available and no constraint pressure: keep score order.
+            next_protected = protected_queue[protected_position]
+            next_other = other_queue[other_position]
+            take_protected = list(ordering).index(next_protected) < list(ordering).index(
+                next_other
+            )
+        if take_protected:
+            reranked.append(protected_queue[protected_position])
+            protected_position += 1
+            protected_so_far += 1
+        else:
+            reranked.append(other_queue[other_position])
+            other_position += 1
+    used = set(reranked)
+    tail = [item for item in ordering if item not in used]
+    return np.asarray(reranked + tail, dtype=int)
+
+
+def constrained_topk(
+    dataset: Dataset,
+    scores: np.ndarray,
+    k: int | float,
+    max_counts: Mapping[tuple[str, object], int],
+) -> np.ndarray:
+    """Celis-style constrained top-``k`` selection with per-group upper bounds.
+
+    Greedily scans items in decreasing score order and admits an item unless
+    admitting it would exceed the upper bound of any ``(attribute, group)`` it
+    belongs to.  With upper-bound-only constraints the greedy scan maximises
+    total score among feasible sets of size ``k``.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset the scores refer to.
+    scores:
+        Per-item scores (any real values).
+    k:
+        Size of the selection (count or fraction).
+    max_counts:
+        Mapping ``(attribute, group) -> maximum count`` in the selection.
+
+    Returns
+    -------
+    numpy.ndarray
+        Indices of the selected items, in decreasing score order.
+
+    Raises
+    ------
+    NoSatisfactoryFunctionError
+        If fewer than ``k`` items can be admitted under the bounds.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.shape != (dataset.n_items,):
+        raise OracleError("scores must have one entry per dataset item")
+    k_count = resolve_k(dataset, k)
+    for (attribute, _group), bound in max_counts.items():
+        if bound < 0:
+            raise OracleError("group bounds must be non-negative")
+        dataset.type_column(attribute)  # validates the attribute exists
+    admitted: list[int] = []
+    used: dict[tuple[str, object], int] = defaultdict(int)
+    for item in np.argsort(-scores, kind="stable"):
+        item = int(item)
+        memberships = [
+            (attribute, group)
+            for (attribute, group) in max_counts
+            if dataset.type_column(attribute)[item] == group
+        ]
+        if any(used[key] + 1 > max_counts[key] for key in memberships):
+            continue
+        admitted.append(item)
+        for key in memberships:
+            used[key] += 1
+        if len(admitted) == k_count:
+            return np.asarray(admitted, dtype=int)
+    raise NoSatisfactoryFunctionError(
+        f"only {len(admitted)} of {k_count} slots could be filled under the group bounds"
+    )

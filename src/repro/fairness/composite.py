@@ -1,0 +1,70 @@
+"""Composition of fairness oracles.
+
+The paper's FM2 model (§6.1) combines proportionality constraints over several
+type attributes — satisfied only when *all* of them hold.  More generally the
+black-box oracle model composes freely; these combinators cover the common
+cases and are used to build FM2 from FM1 parts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import OracleError
+from repro.fairness.oracle import FairnessOracle
+
+__all__ = ["AndOracle", "OrOracle", "NotOracle"]
+
+
+class AndOracle(FairnessOracle):
+    """Satisfied when every child oracle is satisfied (conjunction; FM2 is built this way)."""
+
+    def __init__(self, children: Sequence[FairnessOracle]):
+        children = list(children)
+        if not children:
+            raise OracleError("AndOracle needs at least one child oracle")
+        if not all(isinstance(child, FairnessOracle) for child in children):
+            raise OracleError("all children must be FairnessOracle instances")
+        self.children = children
+
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        return all(child.is_satisfactory(ordering, dataset) for child in self.children)
+
+    def describe(self) -> str:
+        return " AND ".join(child.describe() for child in self.children)
+
+
+class OrOracle(FairnessOracle):
+    """Satisfied when at least one child oracle is satisfied (disjunction)."""
+
+    def __init__(self, children: Sequence[FairnessOracle]):
+        children = list(children)
+        if not children:
+            raise OracleError("OrOracle needs at least one child oracle")
+        if not all(isinstance(child, FairnessOracle) for child in children):
+            raise OracleError("all children must be FairnessOracle instances")
+        self.children = children
+
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        return any(child.is_satisfactory(ordering, dataset) for child in self.children)
+
+    def describe(self) -> str:
+        return " OR ".join(child.describe() for child in self.children)
+
+
+class NotOracle(FairnessOracle):
+    """Negation of an oracle (useful for testing and for 'avoid this pattern' criteria)."""
+
+    def __init__(self, child: FairnessOracle):
+        if not isinstance(child, FairnessOracle):
+            raise OracleError("NotOracle wraps a FairnessOracle")
+        self.child = child
+
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        return not self.child.is_satisfactory(ordering, dataset)
+
+    def describe(self) -> str:
+        return f"NOT ({self.child.describe()})"

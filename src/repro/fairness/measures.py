@@ -1,0 +1,159 @@
+"""Quantitative fairness measures over ranked outputs.
+
+The core system only needs a boolean oracle, but examples, tests and the
+EXPERIMENTS report benefit from *graded* measures of how (un)fair an ordering
+is.  The measures implemented here follow the related work the paper cites:
+
+* group share / count at ``k`` (the quantity FM1 bounds),
+* the disparate-impact style selection-rate ratio of Feldman et al.,
+* rND and rKL, the normalised discounted difference / KL-divergence measures of
+  Yang & Stoyanovich ("Measuring fairness in ranked outputs", SSDBM 2017), and
+* group exposure ratios with logarithmic position discounts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import OracleError
+from repro.ranking.topk import group_counts_at_k, resolve_k
+
+__all__ = [
+    "group_share_at_k",
+    "selection_rate_ratio",
+    "rnd_measure",
+    "rkl_measure",
+    "exposure_ratio",
+]
+
+
+def group_share_at_k(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, group, k: int | float
+) -> float:
+    """Share of the top-``k`` belonging to ``group`` (the quantity FM1 bounds)."""
+    count = resolve_k(dataset, k)
+    counts = group_counts_at_k(dataset, ordering, attribute, count)
+    return counts.get(group, 0) / float(count)
+
+
+def selection_rate_ratio(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected, k: int | float
+) -> float:
+    """Disparate-impact style ratio of selection rates at the top-``k``.
+
+    ``rate(protected) / rate(others)`` where a group's rate is the fraction of
+    its members appearing in the top-``k``.  A value near 1 is parity; the
+    US EEOC "80 % rule" flags values below 0.8.  Returns ``inf`` when the
+    non-protected rate is zero while the protected rate is positive.
+    """
+    count = resolve_k(dataset, k)
+    column = dataset.type_column(attribute)
+    protected_mask = column == protected
+    n_protected = int(np.sum(protected_mask))
+    n_other = int(protected_mask.size - n_protected)
+    if n_protected == 0 or n_other == 0:
+        raise OracleError("both the protected group and its complement must be non-empty")
+    top = np.asarray(ordering, dtype=int)[:count]
+    protected_selected = int(np.sum(protected_mask[top]))
+    other_selected = count - protected_selected
+    protected_rate = protected_selected / n_protected
+    other_rate = other_selected / n_other
+    if other_rate == 0.0:
+        return math.inf if protected_rate > 0 else 1.0
+    return protected_rate / other_rate
+
+
+def _prefix_positions(n: int, step: int = 10) -> list[int]:
+    """Evaluation prefixes 10, 20, ... as used by the rND / rKL measures."""
+    positions = list(range(step, n + 1, step))
+    if not positions:
+        positions = [n]
+    return positions
+
+
+def rnd_measure(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected, step: int = 10
+) -> float:
+    """Normalised discounted difference (rND) of Yang & Stoyanovich.
+
+    Averages, over prefixes of the ranking, the absolute difference between the
+    protected group's share in the prefix and its share overall, discounted
+    logarithmically by prefix position and normalised by the worst possible
+    value so the result lies in [0, 1] (0 = perfectly proportional).
+    """
+    ordering = np.asarray(ordering, dtype=int)
+    n = ordering.size
+    column = dataset.type_column(attribute)
+    protected_mask = column == protected
+    overall_share = float(np.mean(protected_mask))
+    positions = _prefix_positions(n, step)
+
+    def discounted_sum(share_at) -> float:
+        total = 0.0
+        for position in positions:
+            total += abs(share_at(position) - overall_share) / math.log2(position + 1)
+        return total
+
+    value = discounted_sum(
+        lambda position: float(np.mean(protected_mask[ordering[:position]]))
+    )
+    # Normaliser: the worst case packs the protected group entirely at the top
+    # or entirely at the bottom, whichever deviates more.
+    n_protected = int(np.sum(protected_mask))
+    worst_top = discounted_sum(lambda position: min(n_protected, position) / position)
+    worst_bottom = discounted_sum(
+        lambda position: max(0, position - (n - n_protected)) / position
+    )
+    normaliser = max(worst_top, worst_bottom)
+    if normaliser == 0.0:
+        return 0.0
+    return value / normaliser
+
+
+def rkl_measure(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, step: int = 10
+) -> float:
+    """Discounted KL-divergence (rKL) between prefix and overall group distributions.
+
+    Unlike rND this handles more than two groups.  Smaller is fairer; the value
+    is not normalised (as in the original definition) but is always finite
+    thanks to add-one smoothing.
+    """
+    ordering = np.asarray(ordering, dtype=int)
+    n = ordering.size
+    column = dataset.type_column(attribute)
+    values = np.unique(column)
+    overall = np.array([np.sum(column == value) for value in values], dtype=float) + 1.0
+    overall /= overall.sum()
+    total = 0.0
+    for position in _prefix_positions(n, step):
+        prefix = column[ordering[:position]]
+        counts = np.array([np.sum(prefix == value) for value in values], dtype=float) + 1.0
+        probabilities = counts / counts.sum()
+        divergence = float(np.sum(probabilities * np.log(probabilities / overall)))
+        total += divergence / math.log2(position + 1)
+    return total
+
+
+def exposure_ratio(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected
+) -> float:
+    """Ratio of average logarithmic-discount exposure of the protected group vs. the rest.
+
+    Exposure of rank ``r`` (1-based) is ``1 / log2(r + 1)``; the measure is the
+    protected group's mean exposure divided by the complement's mean exposure.
+    Values near 1 indicate the groups occupy comparably prominent positions.
+    """
+    ordering = np.asarray(ordering, dtype=int)
+    column = dataset.type_column(attribute)
+    protected_mask = column == protected
+    if not np.any(protected_mask) or np.all(protected_mask):
+        raise OracleError("both the protected group and its complement must be non-empty")
+    exposures = np.zeros(ordering.size)
+    exposures[ordering] = 1.0 / np.log2(np.arange(2, ordering.size + 2))
+    protected_exposure = float(np.mean(exposures[protected_mask]))
+    other_exposure = float(np.mean(exposures[~protected_mask]))
+    return protected_exposure / other_exposure

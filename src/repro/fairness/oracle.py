@@ -1,0 +1,96 @@
+"""The fairness-oracle abstraction.
+
+The paper's fairness model (§2) is deliberately general: a *fairness oracle*
+``O : ordered(D) → {⊤, ⊥}`` is any black-box predicate over an ordering of the
+items.  A scoring function is *satisfactory* when the ordering it induces is
+accepted by the oracle.  All region/cell algorithms in :mod:`repro.core`
+interact with fairness exclusively through this interface, which is what makes
+them applicable to diversity constraints and other binary criteria as well
+(§7).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import OracleError
+from repro.ranking.scoring import LinearScoringFunction
+
+__all__ = ["FairnessOracle", "CallableOracle", "CountingOracle"]
+
+
+class FairnessOracle(ABC):
+    """Abstract base class of all fairness oracles.
+
+    Subclasses implement :meth:`is_satisfactory` over an ordering (an array of
+    item indices, best first).  The convenience methods evaluate scoring
+    functions directly.
+    """
+
+    @abstractmethod
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        """Return True if the ordering meets the fairness criteria."""
+
+    def evaluate_function(self, function: LinearScoringFunction, dataset: Dataset) -> bool:
+        """Order the dataset with ``function`` and evaluate the result."""
+        return self.is_satisfactory(function.order(dataset), dataset)
+
+    def __call__(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        return self.is_satisfactory(ordering, dataset)
+
+    def describe(self) -> str:
+        """One-line human-readable description of the constraint."""
+        return type(self).__name__
+
+
+class CallableOracle(FairnessOracle):
+    """Adapter turning any ``(ordering, dataset) -> bool`` callable into an oracle.
+
+    This keeps the paper's claim literal: *any* binary function over an
+    ordering can drive the system, including user-supplied diversity criteria.
+    """
+
+    def __init__(self, function: Callable[[np.ndarray, Dataset], bool], description: str = ""):
+        if not callable(function):
+            raise OracleError("CallableOracle requires a callable")
+        self._function = function
+        self._description = description or getattr(function, "__name__", "callable oracle")
+
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        result = self._function(ordering, dataset)
+        if not isinstance(result, (bool, np.bool_)):
+            raise OracleError("the wrapped callable must return a boolean")
+        return bool(result)
+
+    def describe(self) -> str:
+        return self._description
+
+
+class CountingOracle(FairnessOracle):
+    """Wrapper that counts oracle invocations.
+
+    The complexity results of the paper (Theorems 1 and 3) are stated in terms
+    of the number of oracle calls, so benchmarks wrap their oracles in this
+    class to report that number alongside wall-clock time.
+    """
+
+    def __init__(self, inner: FairnessOracle):
+        if not isinstance(inner, FairnessOracle):
+            raise OracleError("CountingOracle wraps a FairnessOracle")
+        self.inner = inner
+        self.calls = 0
+
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        self.calls += 1
+        return self.inner.is_satisfactory(ordering, dataset)
+
+    def reset(self) -> None:
+        """Reset the call counter."""
+        self.calls = 0
+
+    def describe(self) -> str:
+        return f"counting({self.inner.describe()})"

@@ -1,0 +1,123 @@
+"""Pairwise (rank-position) fairness measures over a full ordering.
+
+The measures in :mod:`repro.fairness.measures` look at *prefixes* of the
+ranking (who makes the top-``k``); the measures here look at the ranking as a
+whole through the lens of *pairs*: across all (protected, non-protected) item
+pairs, how often does the protected item come out on top?  These are the
+ranked analogues of pairwise statistical parity and are useful when the
+fairness concern is about systematic placement rather than a single cut-off.
+
+All functions take an ordering (item indices, best first), the dataset, the
+type attribute and the protected group value, mirroring the signature style of
+the prefix-based measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import OracleError
+
+__all__ = [
+    "protected_above_rate",
+    "pairwise_parity_gap",
+    "rank_biserial_correlation",
+    "mean_rank_gap",
+    "median_rank_gap",
+]
+
+
+def _ranks_and_mask(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (rank of every item, protected mask), validating the groups."""
+    ordering = np.asarray(ordering, dtype=int)
+    if ordering.size != dataset.n_items:
+        raise OracleError("pairwise measures need a full ordering of the dataset")
+    column = dataset.type_column(attribute)
+    protected_mask = column == protected
+    if not np.any(protected_mask) or np.all(protected_mask):
+        raise OracleError("both the protected group and its complement must be non-empty")
+    ranks = np.empty(ordering.size, dtype=float)
+    ranks[ordering] = np.arange(ordering.size, dtype=float)
+    return ranks, protected_mask
+
+
+def protected_above_rate(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected
+) -> float:
+    """Fraction of (protected, other) pairs in which the protected item ranks higher.
+
+    A value of 0.5 means group membership carries no systematic rank
+    (dis)advantage; values below 0.5 mean protected items tend to be ranked
+    below non-protected items.  Computed in ``O(n log n)`` from the rank sums
+    (it is the Mann-Whitney U statistic normalised by the number of pairs).
+    """
+    ranks, protected_mask = _ranks_and_mask(dataset, ordering, attribute, protected)
+    n_protected = int(np.sum(protected_mask))
+    n_other = int(protected_mask.size - n_protected)
+    # Rank 0 is best; a protected item "wins" against every other-group item
+    # ranked strictly below it.  Using 1-based ranks, the number of wins of the
+    # protected group is  n_protected*n_other - (U of the protected group), and
+    # U = rank_sum - n_protected*(n_protected+1)/2 with ranks sorted ascending
+    # by goodness.  There are no ties because ranks are a permutation.
+    protected_rank_sum = float(np.sum(ranks[protected_mask])) + n_protected  # 1-based
+    u_statistic = protected_rank_sum - n_protected * (n_protected + 1) / 2.0
+    wins = n_protected * n_other - u_statistic
+    return float(wins / (n_protected * n_other))
+
+
+def pairwise_parity_gap(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected
+) -> float:
+    """Absolute deviation of :func:`protected_above_rate` from the parity value 0.5.
+
+    Zero is perfect pairwise parity; 0.5 is maximal disparity (one group
+    entirely above the other).
+    """
+    return abs(protected_above_rate(dataset, ordering, attribute, protected) - 0.5)
+
+
+def rank_biserial_correlation(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected
+) -> float:
+    """Rank-biserial correlation between group membership and rank position.
+
+    Equal to ``2 · protected_above_rate - 1``: +1 when every protected item is
+    ranked above every non-protected item, -1 in the opposite extreme, 0 at
+    parity.
+    """
+    return 2.0 * protected_above_rate(dataset, ordering, attribute, protected) - 1.0
+
+
+def mean_rank_gap(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected
+) -> float:
+    """Difference of mean normalised ranks: protected minus non-protected.
+
+    Ranks are normalised to ``[0, 1]`` (0 = best), so a positive value means
+    the protected group sits lower in the ranking on average; the value lies in
+    ``(-1, 1)``.
+    """
+    ranks, protected_mask = _ranks_and_mask(dataset, ordering, attribute, protected)
+    if ranks.size == 1:  # pragma: no cover - excluded by the group validation
+        return 0.0
+    normalised = ranks / float(ranks.size - 1)
+    return float(np.mean(normalised[protected_mask]) - np.mean(normalised[~protected_mask]))
+
+
+def median_rank_gap(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected
+) -> float:
+    """Difference of median normalised ranks: protected minus non-protected.
+
+    Less sensitive than :func:`mean_rank_gap` to a few extreme placements.
+    """
+    ranks, protected_mask = _ranks_and_mask(dataset, ordering, attribute, protected)
+    if ranks.size == 1:  # pragma: no cover - excluded by the group validation
+        return 0.0
+    normalised = ranks / float(ranks.size - 1)
+    return float(
+        np.median(normalised[protected_mask]) - np.median(normalised[~protected_mask])
+    )

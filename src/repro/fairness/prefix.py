@@ -1,0 +1,208 @@
+"""Prefix-proportionality (ranked group fairness) constraints.
+
+The FA*IR line of work (Zehlike et al., CIKM 2017) asks for more than a bound
+on the top-``k`` as a whole: *every prefix* of the top-``k`` must contain at
+least a minimum number of protected-group members, so protected candidates are
+not all pushed to the bottom of an otherwise compliant list.  The paper's
+fairness model is deliberately oracle-agnostic, so this constraint plugs
+straight into the designer: the satisfactory regions of weight space are then
+the weight vectors whose induced ranking is *ranked-group-fair*, not merely
+proportional at ``k``.
+
+Two oracles are provided:
+
+* :class:`PrefixProportionalOracle` — lower and/or upper bounds on the
+  protected share of every prefix ``1..k``;
+* :class:`MinimumAtEveryPrefixOracle` — the classic FA*IR form, "at least
+  ``ceil(p · i)`` protected members in every prefix ``i``".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import OracleError
+from repro.fairness.oracle import FairnessOracle
+from repro.ranking.topk import resolve_k
+
+__all__ = ["PrefixProportionalOracle", "MinimumAtEveryPrefixOracle"]
+
+
+def _protected_prefix_counts(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, protected, k: int
+) -> np.ndarray:
+    """Cumulative protected-member counts over the first ``k`` prefix lengths."""
+    ordering = np.asarray(ordering, dtype=int)
+    column = dataset.type_column(attribute)
+    member = (column[ordering[:k]] == protected).astype(int)
+    return np.cumsum(member)
+
+
+class PrefixProportionalOracle(FairnessOracle):
+    """Bound the protected share of *every* prefix of the top-``k``.
+
+    For every prefix length ``i`` in ``1..k`` the number of protected members
+    among the first ``i`` items must satisfy::
+
+        ceil(min_fraction * i)  <=  count_i  <=  floor(max_fraction * i)
+
+    (whichever bounds are given).  With only ``min_fraction`` this is the
+    FA*IR ranked group fairness criterion; with only ``max_fraction`` it keeps
+    a historically over-represented group from monopolising the visible top of
+    the list at any cut-off, which is strictly stronger than FM1 at ``k``.
+
+    Parameters
+    ----------
+    attribute:
+        Type-attribute name (for example ``"sex"``).
+    protected:
+        Group whose presence is constrained at every prefix.
+    k:
+        Length of the constrained prefix (count or fraction of the dataset).
+    min_fraction, max_fraction:
+        Per-prefix lower / upper bounds on the protected share.  At least one
+        must be given.
+    min_prefix:
+        Shortest prefix length at which the bounds are enforced (default 1).
+        Tiny prefixes make fractional bounds degenerate — a lower bound of
+        30 % already forces the very first item to be protected — so, like the
+        binomial relaxation in FA*IR, raising ``min_prefix`` starts enforcing
+        the proportion only once the prefix is long enough to be meaningful.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        protected,
+        k: int | float,
+        min_fraction: float | None = None,
+        max_fraction: float | None = None,
+        min_prefix: int = 1,
+    ) -> None:
+        if min_fraction is None and max_fraction is None:
+            raise OracleError(
+                "PrefixProportionalOracle needs min_fraction and/or max_fraction"
+            )
+        for name, value in (("min_fraction", min_fraction), ("max_fraction", max_fraction)):
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise OracleError(f"{name} must lie in [0, 1], got {value}")
+        if (
+            min_fraction is not None
+            and max_fraction is not None
+            and min_fraction > max_fraction
+        ):
+            raise OracleError("min_fraction cannot exceed max_fraction")
+        if min_prefix < 1:
+            raise OracleError("min_prefix must be at least 1")
+        self.attribute = attribute
+        self.protected = protected
+        self.k = k
+        self.min_fraction = min_fraction
+        self.max_fraction = max_fraction
+        self.min_prefix = min_prefix
+
+    @classmethod
+    def matching_dataset_share(
+        cls,
+        dataset: Dataset,
+        attribute: str,
+        protected,
+        k: int | float,
+        slack: float = 0.1,
+    ) -> "PrefixProportionalOracle":
+        """Require every prefix to stay within ``slack`` of the group's share in ``D``.
+
+        Mirrors the paper's phrasing of FM1 ("at most 10 % more than its
+        proportion in D"), but enforced at every prefix rather than only at
+        ``k``.
+        """
+        if slack < 0:
+            raise OracleError("slack must be non-negative")
+        share = dataset.group_proportions(attribute).get(protected, 0.0)
+        return cls(
+            attribute,
+            protected,
+            k,
+            min_fraction=max(0.0, share - slack),
+            max_fraction=min(1.0, share + slack),
+        )
+
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        k = resolve_k(dataset, self.k)
+        counts = _protected_prefix_counts(dataset, ordering, self.attribute, self.protected, k)
+        prefix_lengths = np.arange(1, k + 1)
+        enforced = prefix_lengths >= self.min_prefix
+        if self.min_fraction is not None:
+            required = np.ceil(self.min_fraction * prefix_lengths - 1e-9)
+            if np.any(enforced & (counts < required)):
+                return False
+        if self.max_fraction is not None:
+            allowed = np.floor(self.max_fraction * prefix_lengths + 1e-9)
+            if np.any(enforced & (counts > allowed)):
+                return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.min_fraction is not None:
+            parts.append(f">= {self.min_fraction:.0%}")
+        if self.max_fraction is not None:
+            parts.append(f"<= {self.max_fraction:.0%}")
+        bounds = " and ".join(parts)
+        scope = (
+            f"every prefix of top-{self.k}"
+            if self.min_prefix <= 1
+            else f"every prefix of top-{self.k} of length >= {self.min_prefix}"
+        )
+        return f"PrefixFM1({self.attribute}={self.protected} {bounds} of {scope})"
+
+
+class MinimumAtEveryPrefixOracle(FairnessOracle):
+    """FA*IR-style constraint: at least ``ceil(p · i)`` protected members in every prefix ``i``.
+
+    This is the deterministic core of the FA*IR ranked group fairness test
+    (the published algorithm relaxes the per-prefix minimum with a binomial
+    significance correction; the uncorrected form used here is the strictest
+    variant and therefore a conservative oracle).
+
+    Parameters
+    ----------
+    attribute:
+        Type-attribute name.
+    protected:
+        The protected group.
+    k:
+        Length of the constrained prefix (count or fraction of the dataset).
+    target_fraction:
+        The target protected proportion ``p``.
+    """
+
+    def __init__(self, attribute: str, protected, k: int | float, target_fraction: float) -> None:
+        if not 0.0 <= target_fraction <= 1.0:
+            raise OracleError(f"target_fraction must lie in [0, 1], got {target_fraction}")
+        self.attribute = attribute
+        self.protected = protected
+        self.k = k
+        self.target_fraction = target_fraction
+
+    def minimum_at(self, prefix_length: int) -> int:
+        """The minimum number of protected members required in a prefix of this length."""
+        if prefix_length < 1:
+            raise OracleError("prefix_length must be at least 1")
+        return int(math.ceil(self.target_fraction * prefix_length - 1e-9))
+
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        k = resolve_k(dataset, self.k)
+        counts = _protected_prefix_counts(dataset, ordering, self.attribute, self.protected, k)
+        prefix_lengths = np.arange(1, k + 1)
+        required = np.ceil(self.target_fraction * prefix_lengths - 1e-9)
+        return bool(np.all(counts >= required))
+
+    def describe(self) -> str:
+        return (
+            f"FA*IR({self.attribute}={self.protected} >= ceil({self.target_fraction:.0%} · i) "
+            f"in every prefix i of top-{self.k})"
+        )

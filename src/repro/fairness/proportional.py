@@ -1,0 +1,167 @@
+"""Proportional-representation fairness constraints (the paper's FM1).
+
+FM1 (§6.1) bounds, from below and/or above, the number of members of one
+demographic group among the top-``k`` of the ranking.  The constraint can be
+stated with absolute counts, with fractions of ``k``, or — as the paper
+usually phrases it — relative to the group's share of the whole dataset
+("at most 10 % more than its proportion in D").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import OracleError
+from repro.fairness.oracle import FairnessOracle
+from repro.ranking.topk import group_counts_at_k, resolve_k
+
+__all__ = ["ProportionalOracle", "TopKGroupBoundOracle"]
+
+
+class ProportionalOracle(FairnessOracle):
+    """Bound the share of one group in the top-``k`` (FM1).
+
+    Parameters
+    ----------
+    attribute:
+        Type-attribute name (for example ``"race"``).
+    group:
+        The group whose presence at the top is constrained (for example
+        ``"African-American"``).
+    k:
+        Top-``k`` size: an absolute count or a fraction of the dataset size.
+    min_fraction, max_fraction:
+        Lower / upper bound on the group's share of the top-``k``.  At least
+        one must be given; both may be.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        group,
+        k: int | float,
+        min_fraction: float | None = None,
+        max_fraction: float | None = None,
+    ) -> None:
+        if min_fraction is None and max_fraction is None:
+            raise OracleError("ProportionalOracle needs min_fraction and/or max_fraction")
+        for name, value in (("min_fraction", min_fraction), ("max_fraction", max_fraction)):
+            if value is not None and not 0.0 <= value <= 1.0:
+                raise OracleError(f"{name} must lie in [0, 1], got {value}")
+        if (
+            min_fraction is not None
+            and max_fraction is not None
+            and min_fraction > max_fraction
+        ):
+            raise OracleError("min_fraction cannot exceed max_fraction")
+        self.attribute = attribute
+        self.group = group
+        self.k = k
+        self.min_fraction = min_fraction
+        self.max_fraction = max_fraction
+
+    # ------------------------------------------------------------------ #
+    # constructors mirroring the paper's phrasing
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def at_most_share_plus_slack(
+        cls, dataset: Dataset, attribute: str, group, k: int | float, slack: float
+    ) -> "ProportionalOracle":
+        """Constraint "at most ``slack`` more than the group's proportion in D".
+
+        This is the paper's default COMPAS constraint: African-Americans are
+        about 50 % of the data, and a ranking is satisfactory if at most 60 %
+        (50 % + 10 % slack) of the top 30 % are African-American.
+        """
+        if slack < 0:
+            raise OracleError("slack must be non-negative")
+        share = dataset.group_proportions(attribute).get(group, 0.0)
+        return cls(attribute, group, k, max_fraction=min(1.0, share + slack))
+
+    @classmethod
+    def at_least_share_minus_slack(
+        cls, dataset: Dataset, attribute: str, group, k: int | float, slack: float
+    ) -> "ProportionalOracle":
+        """Constraint "at least ``slack`` less than the group's proportion in D"."""
+        if slack < 0:
+            raise OracleError("slack must be non-negative")
+        share = dataset.group_proportions(attribute).get(group, 0.0)
+        return cls(attribute, group, k, min_fraction=max(0.0, share - slack))
+
+    # ------------------------------------------------------------------ #
+    # oracle
+    # ------------------------------------------------------------------ #
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        k = resolve_k(dataset, self.k)
+        counts = group_counts_at_k(dataset, ordering, self.attribute, k)
+        count = counts.get(self.group, 0)
+        if self.min_fraction is not None:
+            # A count requirement derived from a fraction is rounded the way a
+            # regulator would: at least ceil(fraction * k) members.
+            if count < math.ceil(self.min_fraction * k - 1e-9):
+                return False
+        if self.max_fraction is not None:
+            if count > math.floor(self.max_fraction * k + 1e-9):
+                return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.min_fraction is not None:
+            parts.append(f">= {self.min_fraction:.0%}")
+        if self.max_fraction is not None:
+            parts.append(f"<= {self.max_fraction:.0%}")
+        bounds = " and ".join(parts)
+        return f"FM1({self.attribute}={self.group} {bounds} of top-{self.k})"
+
+
+class TopKGroupBoundOracle(FairnessOracle):
+    """Bound the *count* of one group in the top-``k`` with absolute numbers.
+
+    The §6.2 FM2 experiment states constraints as absolute counts ("at most 90
+    males, at most 60 African-Americans ... at the top-100"); this oracle is
+    that building block.
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        group,
+        k: int | float,
+        min_count: int | None = None,
+        max_count: int | None = None,
+    ) -> None:
+        if min_count is None and max_count is None:
+            raise OracleError("TopKGroupBoundOracle needs min_count and/or max_count")
+        for name, value in (("min_count", min_count), ("max_count", max_count)):
+            if value is not None and value < 0:
+                raise OracleError(f"{name} must be non-negative")
+        if min_count is not None and max_count is not None and min_count > max_count:
+            raise OracleError("min_count cannot exceed max_count")
+        self.attribute = attribute
+        self.group = group
+        self.k = k
+        self.min_count = min_count
+        self.max_count = max_count
+
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        k = resolve_k(dataset, self.k)
+        counts = group_counts_at_k(dataset, ordering, self.attribute, k)
+        count = counts.get(self.group, 0)
+        if self.min_count is not None and count < self.min_count:
+            return False
+        if self.max_count is not None and count > self.max_count:
+            return False
+        return True
+
+    def describe(self) -> str:
+        parts = []
+        if self.min_count is not None:
+            parts.append(f">= {self.min_count}")
+        if self.max_count is not None:
+            parts.append(f"<= {self.max_count}")
+        bounds = " and ".join(parts)
+        return f"TopKBound({self.attribute}={self.group} {bounds} in top-{self.k})"

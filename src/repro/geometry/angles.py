@@ -1,0 +1,151 @@
+"""Angle coordinate system for linear ranking functions.
+
+A linear scoring function with non-negative weights is a ray from the origin
+in :math:`R^d`; two weight vectors that are positive scalings of each other
+induce the same ordering, so the natural space of ranking functions is the set
+of *directions* in the first orthant.  The paper (§4.1, Appendix A.1)
+parameterises directions by ``d-1`` angles, each in ``[0, π/2]``.
+
+This module implements that parameterisation with standard hyperspherical
+coordinates:
+
+.. math::
+
+   w_1 &= r\\,\\cos θ_1 \\\\
+   w_2 &= r\\,\\sin θ_1 \\cos θ_2 \\\\
+   &\\;\\;\\vdots \\\\
+   w_{d-1} &= r\\,\\sin θ_1 \\cdots \\sin θ_{d-2} \\cos θ_{d-1} \\\\
+   w_d &= r\\,\\sin θ_1 \\cdots \\sin θ_{d-2} \\sin θ_{d-1}
+
+For ``d = 2`` this reduces to the paper's §3 convention, ``θ = arctan(w_2/w_1)``,
+the angle of the ray with the x-axis.  All conversions below are exact inverses
+of each other on the first orthant, and the angular distance between two rays
+is the arc-cosine of the cosine similarity of their weight vectors (paper
+Eq. 9–10).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import GeometryError
+
+__all__ = [
+    "HALF_PI",
+    "to_angles",
+    "to_weights",
+    "angular_distance",
+    "angular_distance_angles",
+    "is_first_orthant_direction",
+    "clamp_angles",
+]
+
+#: Upper bound of every angle coordinate (the first orthant spans [0, π/2]).
+HALF_PI: float = math.pi / 2.0
+
+
+def is_first_orthant_direction(weights: np.ndarray) -> bool:
+    """Return True if ``weights`` is a usable direction: non-negative, finite, not all zero."""
+    weights = np.asarray(weights, dtype=float)
+    return bool(
+        weights.ndim == 1
+        and weights.size >= 1
+        and np.all(np.isfinite(weights))
+        and np.all(weights >= 0)
+        and np.any(weights > 0)
+    )
+
+
+def to_angles(weights: np.ndarray) -> np.ndarray:
+    """Convert a weight vector to its ``d-1`` hyperspherical angles.
+
+    Parameters
+    ----------
+    weights:
+        Non-negative weight vector of length ``d >= 2`` with at least one
+        positive entry.  The magnitude is irrelevant (a ray is scale free).
+
+    Returns
+    -------
+    numpy.ndarray
+        Angle vector ``Θ`` of length ``d - 1`` with every entry in ``[0, π/2]``.
+
+    Raises
+    ------
+    GeometryError
+        If the weights are negative, all zero, non-finite, or shorter than 2.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or weights.size < 2:
+        raise GeometryError("to_angles expects a 1-D weight vector of length >= 2")
+    if not is_first_orthant_direction(weights):
+        raise GeometryError(
+            "weights must be finite, non-negative and not all zero to define a ray"
+        )
+    d = weights.size
+    angles = np.empty(d - 1, dtype=float)
+    # tail[k] = sqrt(w_{k+1}^2 + ... + w_d^2)
+    tail = np.sqrt(np.cumsum(weights[::-1] ** 2)[::-1])
+    for k in range(d - 2):
+        angles[k] = math.atan2(tail[k + 1], weights[k])
+    angles[d - 2] = math.atan2(weights[d - 1], weights[d - 2])
+    return clamp_angles(angles)
+
+
+def to_weights(angles: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Convert an angle vector back to a weight vector of the given magnitude.
+
+    This is the exact inverse of :func:`to_angles` (up to scaling): for any
+    first-orthant direction ``w``, ``to_weights(to_angles(w))`` is the unit
+    vector along ``w``.
+    """
+    angles = np.asarray(angles, dtype=float)
+    if angles.ndim != 1 or angles.size < 1:
+        raise GeometryError("to_weights expects a 1-D angle vector of length >= 1")
+    if not np.all(np.isfinite(angles)):
+        raise GeometryError("angles must be finite")
+    if radius <= 0:
+        raise GeometryError("radius must be positive")
+    d = angles.size + 1
+    weights = np.empty(d, dtype=float)
+    sin_prefix = 1.0
+    for k in range(d - 1):
+        weights[k] = sin_prefix * math.cos(angles[k])
+        sin_prefix *= math.sin(angles[k])
+    weights[d - 1] = sin_prefix
+    # Numerical noise can produce tiny negatives for angles at the boundary.
+    weights = np.clip(weights, 0.0, None)
+    return radius * weights
+
+
+def angular_distance(first: np.ndarray, second: np.ndarray) -> float:
+    """Angular distance (radians) between the rays of two weight vectors.
+
+    This is ``arccos`` of the cosine similarity (paper Appendix A.1) and is a
+    metric on directions: it is zero iff one vector is a positive scaling of
+    the other, symmetric, and satisfies the triangle inequality on the sphere.
+    """
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.shape != second.shape:
+        raise GeometryError("angular_distance requires vectors of equal dimension")
+    if not (is_first_orthant_direction(first) and is_first_orthant_direction(second)):
+        raise GeometryError("angular_distance requires valid first-orthant directions")
+    cosine = float(np.dot(first, second) / (np.linalg.norm(first) * np.linalg.norm(second)))
+    cosine = min(1.0, max(-1.0, cosine))
+    return math.acos(cosine)
+
+
+def angular_distance_angles(first_angles: np.ndarray, second_angles: np.ndarray) -> float:
+    """Angular distance between two rays given by their angle vectors."""
+    return angular_distance(to_weights(first_angles), to_weights(second_angles))
+
+
+def clamp_angles(angles: np.ndarray) -> np.ndarray:
+    """Clamp an angle vector into the legal box ``[0, π/2]^(d-1)``.
+
+    Used to absorb floating-point drift at the boundary of the first orthant.
+    """
+    return np.clip(np.asarray(angles, dtype=float), 0.0, HALF_PI)

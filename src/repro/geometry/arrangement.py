@@ -1,0 +1,119 @@
+"""Incremental construction of the arrangement of hyperplanes.
+
+The satisfactory regions of §4.2 are unions of cells of the *arrangement* of
+the ordering-exchange hyperplanes in angle space: inside one cell of the
+arrangement no pair of items swaps, so the induced ordering — and therefore
+the fairness-oracle verdict — is constant.
+
+:class:`Arrangement` implements the incremental algorithm at the core of
+``SATREGIONS`` (Algorithm 4, lines 9–19): hyperplanes are inserted one at a
+time; each insertion scans the current regions, and every region the new
+hyperplane passes through is split into its ``h⁻`` and ``h⁺`` parts.  The
+companion :class:`~repro.geometry.arrangement_tree.ArrangementTree` provides
+the hierarchical pruning variant (Algorithm 5) that avoids the full scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import GeometryError
+from repro.geometry.hyperplane import Hyperplane, Region
+
+__all__ = ["Arrangement"]
+
+
+@dataclass
+class Arrangement:
+    """The set of convex regions induced by a growing set of hyperplanes.
+
+    Parameters
+    ----------
+    dimension:
+        Dimension of the ambient angle space (``d - 1``).
+    base_region:
+        Optional region to restrict the arrangement to (used by ``MARKCELL``
+        to build per-cell arrangements); defaults to the whole angle box.
+    """
+
+    dimension: int
+    base_region: Region | None = None
+    regions: list[Region] = field(default_factory=list)
+    hyperplanes: list[Hyperplane] = field(default_factory=list)
+    split_tests: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1:
+            raise GeometryError("arrangement dimension must be >= 1")
+        if self.base_region is None:
+            self.base_region = Region.whole_space(self.dimension)
+        if self.base_region.dimension != self.dimension:
+            raise GeometryError("base region dimension mismatch")
+        if not self.regions:
+            self.regions = [self.base_region]
+
+    @property
+    def n_regions(self) -> int:
+        """Number of regions currently in the arrangement."""
+        return len(self.regions)
+
+    @property
+    def n_hyperplanes(self) -> int:
+        """Number of hyperplanes inserted so far."""
+        return len(self.hyperplanes)
+
+    def insert(self, hyperplane: Hyperplane) -> int:
+        """Insert one hyperplane, splitting every region it passes through.
+
+        Returns
+        -------
+        int
+            The number of regions that were split by this insertion.
+        """
+        if hyperplane.dimension != self.dimension:
+            raise GeometryError("hyperplane dimension mismatch")
+        new_regions: list[Region] = []
+        splits = 0
+        for region in self.regions:
+            self.split_tests += 1
+            if region.intersects_hyperplane(hyperplane):
+                below, above = region.split(hyperplane)
+                new_regions.append(below)
+                new_regions.append(above)
+                splits += 1
+            else:
+                new_regions.append(region)
+        self.regions = new_regions
+        self.hyperplanes.append(hyperplane)
+        return splits
+
+    def insert_all(self, hyperplanes: Iterable[Hyperplane]) -> None:
+        """Insert a sequence of hyperplanes in order."""
+        for hyperplane in hyperplanes:
+            self.insert(hyperplane)
+
+    def non_empty_regions(self) -> list[Region]:
+        """Return the regions that have a non-empty interior.
+
+        Splitting keeps both sides even when one of them is a sliver clipped
+        away by the angle box, so a final filter is occasionally useful before
+        evaluating the oracle on representatives.
+        """
+        kept: list[Region] = []
+        for region in self.regions:
+            if not region.is_empty():
+                kept.append(region)
+        return kept
+
+    @classmethod
+    def build(
+        cls,
+        hyperplanes: Sequence[Hyperplane],
+        dimension: int,
+        base_region: Region | None = None,
+    ) -> "Arrangement":
+        """Construct the arrangement of ``hyperplanes`` from scratch."""
+        arrangement = cls(dimension=dimension, base_region=base_region)
+        arrangement.insert_all(hyperplanes)
+        return arrangement

@@ -1,0 +1,238 @@
+"""Ordering exchanges: dual transform and the ``HYPERPOLAR`` construction.
+
+An *ordering exchange* of a pair of items ``t_i``, ``t_j`` is the set of
+scoring functions that give both items the same score (§3.1).  For linear
+functions this is the locus :math:`\\sum_k (t_i[k] - t_j[k])\\,w_k = 0` — a
+hyperplane through the origin in weight space (Eq. 5).  Pairs in which one
+item dominates the other never exchange (the hyperplane misses the first
+orthant), so they are skipped.
+
+Three views of the same object are provided here:
+
+* in 2-D the exchange is a single ray, identified by its angle with the x-axis
+  (Eq. 2) — used by the ray-sweep algorithm of §3;
+* in weight space the exchange is described by its normal vector (Eq. 5) — the
+  exact ground truth used by tests;
+* in the angle coordinate system the exchange is represented, following the
+  paper's ``HYPERPOLAR`` (Algorithm 3), by the hyperplane
+  :math:`\\sum_k h[k]\\,θ_k = 1` through ``d-1`` points of the exchange locus.
+  (The true locus is mildly curved in angle coordinates; fitting a hyperplane
+  through ``d-1`` of its first-orthant points is precisely what Algorithm 3
+  does, and the oracle evaluation at region representatives keeps the final
+  labels correct.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.linalg import null_space
+
+from repro.data.dataset import Dataset
+from repro.data.dominance import dominates
+from repro.exceptions import GeometryError
+from repro.geometry.angles import to_angles
+from repro.geometry.hyperplane import Hyperplane
+
+__all__ = [
+    "exchange_normal",
+    "exchange_angle_2d",
+    "hyperpolar",
+    "build_exchange_hyperplanes",
+    "build_exchange_angles_2d",
+]
+
+
+def exchange_normal(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Return the weight-space normal ``t_i - t_j`` of the pair's ordering exchange (Eq. 5).
+
+    The exchange hyperplane in weight space is ``normal · w = 0``; weight
+    vectors on its positive side rank ``first`` above ``second`` and vice
+    versa.
+    """
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.shape != second.shape or first.ndim != 1:
+        raise GeometryError("exchange_normal expects two vectors of the same dimension")
+    return first - second
+
+
+def has_exchange(first: np.ndarray, second: np.ndarray) -> bool:
+    """Return True if the pair produces an ordering exchange inside the first orthant.
+
+    Identical items and dominated pairs do not exchange anywhere in the space
+    of non-negative weight vectors (§3.2, footnote 4).
+    """
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if np.allclose(first, second):
+        return False
+    return not dominates(first, second) and not dominates(second, first)
+
+
+def exchange_angle_2d(first: np.ndarray, second: np.ndarray) -> float:
+    """Return the angle (with the x-axis) of the 2-D ordering exchange of a pair (Eq. 2).
+
+    Raises
+    ------
+    GeometryError
+        If the items are not 2-dimensional or the pair has no exchange in the
+        first quadrant (identical or dominated pair).
+    """
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.shape != (2,) or second.shape != (2,):
+        raise GeometryError("exchange_angle_2d expects 2-dimensional items")
+    if not has_exchange(first, second):
+        raise GeometryError("the pair has no ordering exchange in the first quadrant")
+    dx = first[0] - second[0]
+    dy = first[1] - second[1]
+    # The exchange ray direction w satisfies dx*w1 + dy*w2 = 0 with w >= 0.
+    # Because the pair is non-dominated, dx and dy have strictly opposite signs.
+    if dx > 0:
+        weights = (-dy, dx)
+    else:
+        weights = (dy, -dx)
+    return math.atan2(weights[1], weights[0])
+
+
+def _strictly_positive_point_on(normal: np.ndarray) -> np.ndarray:
+    """Return a strictly positive point ``x`` with ``normal · x = 0``.
+
+    Balances the positive-coefficient mass against the negative-coefficient
+    mass; zero-coefficient coordinates are set to 1.  Such a point exists
+    exactly when ``normal`` has both positive and negative entries, which is
+    guaranteed for non-dominated pairs.
+    """
+    positive = np.flatnonzero(normal > 0)
+    negative = np.flatnonzero(normal < 0)
+    if positive.size == 0 or negative.size == 0:
+        raise GeometryError("the exchange hyperplane does not cross the first orthant")
+    point = np.ones_like(normal, dtype=float)
+    point[positive] = 1.0 / (normal[positive] * positive.size)
+    point[negative] = 1.0 / (-normal[negative] * negative.size)
+    return point
+
+
+def hyperpolar(
+    first: np.ndarray, second: np.ndarray, label: tuple[int, int] | None = None
+) -> Hyperplane:
+    """Map the ordering exchange of a pair into the angle coordinate system (Algorithm 3).
+
+    Picks ``d-1`` linearly independent first-orthant points on the weight-space
+    exchange hyperplane, converts each to its angle vector, and solves the
+    linear system ``Θ · h = 1`` for the angle-space hyperplane coefficients.
+
+    Parameters
+    ----------
+    first, second:
+        Item scoring vectors of dimension ``d >= 3``.
+    label:
+        Optional pair identifier stored on the resulting hyperplane.
+
+    Returns
+    -------
+    Hyperplane
+        The exchange hyperplane ``h · θ = 1`` in the ``(d-1)``-dimensional
+        angle space.
+    """
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.ndim != 1 or first.shape != second.shape:
+        raise GeometryError("hyperpolar expects two item vectors of equal dimension")
+    d = first.size
+    if d < 3:
+        raise GeometryError("hyperpolar requires d >= 3; use exchange_angle_2d for d = 2")
+    if not has_exchange(first, second):
+        raise GeometryError("the pair has no ordering exchange in the first orthant")
+
+    normal = exchange_normal(first, second)
+    base_point = _strictly_positive_point_on(normal)
+    basis = null_space(normal[None, :])
+    if basis.shape[1] != d - 1:
+        raise GeometryError("degenerate exchange normal; cannot span the exchange hyperplane")
+
+    for attempt in range(4):
+        theta_rows = []
+        for column in range(d - 1):
+            direction = basis[:, column]
+            negative_mask = direction < 0
+            if np.any(negative_mask):
+                step_limit = float(np.min(base_point[negative_mask] / -direction[negative_mask]))
+            else:
+                step_limit = 1.0
+            step = 0.5 * step_limit / (attempt + 1.0) * (1.0 + 0.37 * column)
+            sample = base_point + step * direction
+            sample = np.clip(sample, 0.0, None)
+            if not np.any(sample > 0):
+                sample = base_point
+            theta_rows.append(to_angles(sample))
+        theta_matrix = np.asarray(theta_rows, dtype=float)
+        try:
+            coefficients = np.linalg.solve(theta_matrix, np.ones(d - 1))
+        except np.linalg.LinAlgError:
+            continue
+        if np.all(np.isfinite(coefficients)) and np.any(np.abs(coefficients) > 1e-12):
+            return Hyperplane(tuple(coefficients), label=label)
+    # Last resort: least-squares fit through the sampled angle points.
+    coefficients, *_ = np.linalg.lstsq(theta_matrix, np.ones(d - 1), rcond=None)
+    if not np.all(np.isfinite(coefficients)) or np.all(np.abs(coefficients) < 1e-12):
+        raise GeometryError("failed to construct the angle-space exchange hyperplane")
+    return Hyperplane(tuple(coefficients), label=label)
+
+
+def build_exchange_angles_2d(dataset: Dataset) -> list[tuple[float, int, int]]:
+    """Return all 2-D ordering exchanges of a dataset as ``(angle, i, j)`` triples.
+
+    Dominated and identical pairs are skipped, exactly as in Algorithm 1
+    lines 2–8.  The list is *not* sorted; the ray-sweep sorts it.
+    """
+    if dataset.n_attributes != 2:
+        raise GeometryError("build_exchange_angles_2d requires a 2-attribute dataset")
+    scores = dataset.scores
+    exchanges: list[tuple[float, int, int]] = []
+    n = dataset.n_items
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            if not has_exchange(scores[i], scores[j]):
+                continue
+            exchanges.append((exchange_angle_2d(scores[i], scores[j]), i, j))
+    return exchanges
+
+
+def build_exchange_hyperplanes(
+    dataset: Dataset, item_indices: np.ndarray | None = None
+) -> list[Hyperplane]:
+    """Construct the angle-space exchange hyperplanes of every non-dominated pair.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset with ``d >= 3`` scoring attributes.
+    item_indices:
+        Optional subset of item indices to restrict the construction to (used
+        by the convex-layer optimisation); defaults to all items.
+
+    Returns
+    -------
+    list of Hyperplane
+        One hyperplane per exchanging pair, labelled with the pair's original
+        item indices.
+    """
+    if dataset.n_attributes < 3:
+        raise GeometryError("build_exchange_hyperplanes requires d >= 3")
+    if item_indices is None:
+        indices = np.arange(dataset.n_items)
+    else:
+        indices = np.asarray(item_indices, dtype=int)
+    scores = dataset.scores
+    hyperplanes: list[Hyperplane] = []
+    for position_i in range(indices.size - 1):
+        i = int(indices[position_i])
+        for position_j in range(position_i + 1, indices.size):
+            j = int(indices[position_j])
+            if not has_exchange(scores[i], scores[j]):
+                continue
+            hyperplanes.append(hyperpolar(scores[i], scores[j], label=(i, j)))
+    return hyperplanes

@@ -1,0 +1,340 @@
+"""Serialisation of offline indexes to JSON ("build once, query many times").
+
+Three index kinds exist, one per pipeline:
+
+* :class:`~repro.core.two_dim.TwoDIndex` — the sorted satisfactory angular
+  intervals of ``2DRAYSWEEP``;
+* :class:`~repro.core.multi_dim.MDExactIndex` — the satisfactory regions of
+  ``SATREGIONS`` (each region is a conjunction of half-spaces);
+* :class:`~repro.core.approx.MDApproxIndex` — the per-cell assignment of the
+  §5 approximation pipeline.
+
+The 2-D and exact indexes are fully self-contained.  The approximate index
+needs the dataset and the fairness oracle at query time (``MDONLINE`` first
+re-checks whether the query itself is satisfactory), so loading it requires
+the caller to supply them — optionally the dataset snapshot can be embedded in
+the file so only the oracle has to be reconstructed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.approx import MDApproxIndex, PreprocessingTimings
+from repro.core.multi_dim import MDExactIndex, SatisfactoryRegion
+from repro.core.two_dim import AngularInterval, TwoDIndex
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError, GeometryError
+from repro.fairness.oracle import FairnessOracle
+from repro.geometry.hyperplane import HalfSpace, Hyperplane, Region
+from repro.geometry.partition import AnglePartition, AnglePartitionProtocol, UniformGridPartition
+from repro.geometry.angles import to_weights
+from repro.io.dataset_json import dataset_from_dict, dataset_to_dict
+from repro.ranking.scoring import LinearScoringFunction
+
+__all__ = [
+    "two_d_index_to_dict",
+    "two_d_index_from_dict",
+    "exact_index_to_dict",
+    "exact_index_from_dict",
+    "approx_index_to_dict",
+    "approx_index_from_dict",
+    "save_index",
+    "load_index",
+]
+
+#: Schema identifier written into every serialised index.
+INDEX_FORMAT = "repro.index/v1"
+
+
+# --------------------------------------------------------------------------- #
+# 2-D index
+# --------------------------------------------------------------------------- #
+def two_d_index_to_dict(index: TwoDIndex) -> dict:
+    """Serialise a 2-D ray-sweep index."""
+    return {
+        "format": INDEX_FORMAT,
+        "index_kind": "2d",
+        "intervals": [[interval.start, interval.end] for interval in index.intervals],
+        "n_exchanges": index.n_exchanges,
+        "oracle_calls": index.oracle_calls,
+    }
+
+
+def two_d_index_from_dict(payload: dict) -> TwoDIndex:
+    """Rebuild a 2-D index from :func:`two_d_index_to_dict` output."""
+    _check_payload(payload, "2d")
+    return TwoDIndex(
+        intervals=[AngularInterval(float(start), float(end)) for start, end in payload["intervals"]],
+        n_exchanges=int(payload.get("n_exchanges", 0)),
+        oracle_calls=int(payload.get("oracle_calls", 0)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# exact multi-dimensional index
+# --------------------------------------------------------------------------- #
+def _half_space_to_dict(half_space: HalfSpace) -> dict:
+    return {
+        "coefficients": list(half_space.hyperplane.coefficients),
+        "label": list(half_space.hyperplane.label) if half_space.hyperplane.label else None,
+        "sign": half_space.sign,
+    }
+
+
+def _half_space_from_dict(payload: dict) -> HalfSpace:
+    label = tuple(payload["label"]) if payload.get("label") else None
+    hyperplane = Hyperplane(tuple(float(c) for c in payload["coefficients"]), label=label)
+    return HalfSpace(hyperplane, int(payload["sign"]))
+
+
+def exact_index_to_dict(index: MDExactIndex) -> dict:
+    """Serialise a ``SATREGIONS`` index (regions, representatives and statistics)."""
+    regions = []
+    for satisfactory in index.satisfactory_regions:
+        regions.append(
+            {
+                "half_spaces": [
+                    _half_space_to_dict(half_space)
+                    for half_space in satisfactory.region.half_spaces
+                ],
+                "representative_angles": list(satisfactory.representative_angles),
+            }
+        )
+    return {
+        "format": INDEX_FORMAT,
+        "index_kind": "exact",
+        "dimension": index.dimension,
+        "satisfactory_regions": regions,
+        "n_hyperplanes": index.n_hyperplanes,
+        "n_regions": index.n_regions,
+        "oracle_calls": index.oracle_calls,
+    }
+
+
+def exact_index_from_dict(payload: dict) -> MDExactIndex:
+    """Rebuild an exact index from :func:`exact_index_to_dict` output."""
+    _check_payload(payload, "exact")
+    dimension = int(payload["dimension"])
+    regions: list[SatisfactoryRegion] = []
+    for entry in payload["satisfactory_regions"]:
+        half_spaces = [_half_space_from_dict(item) for item in entry["half_spaces"]]
+        angles = tuple(float(value) for value in entry["representative_angles"])
+        regions.append(
+            SatisfactoryRegion(
+                region=Region(dimension, half_spaces),
+                representative_angles=angles,
+                representative=LinearScoringFunction(
+                    tuple(to_weights(np.asarray(angles, dtype=float)))
+                ),
+            )
+        )
+    return MDExactIndex(
+        dimension=dimension,
+        satisfactory_regions=regions,
+        n_hyperplanes=int(payload.get("n_hyperplanes", 0)),
+        n_regions=int(payload.get("n_regions", 0)),
+        oracle_calls=int(payload.get("oracle_calls", 0)),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# approximate (grid) index
+# --------------------------------------------------------------------------- #
+def _partition_to_dict(partition: AnglePartitionProtocol) -> dict:
+    if isinstance(partition, UniformGridPartition):
+        return {
+            "kind": "uniform",
+            "dimension": partition.dimension,
+            "n_cells": partition.n_cells,
+        }
+    if isinstance(partition, AnglePartition):
+        return {
+            "kind": "angle",
+            "dimension": partition.dimension,
+            "target_cells": partition.target_cells,
+        }
+    raise ConfigurationError(
+        f"cannot serialise partition of type {type(partition).__name__}; "
+        "only the built-in uniform and angle partitions are supported"
+    )
+
+
+def _partition_from_dict(payload: dict) -> AnglePartitionProtocol:
+    kind = payload.get("kind")
+    dimension = int(payload["dimension"])
+    if kind == "uniform":
+        return UniformGridPartition(dimension, int(payload["n_cells"]))
+    if kind == "angle":
+        return AnglePartition(dimension, int(payload["target_cells"]))
+    raise ConfigurationError(f"unknown serialised partition kind {kind!r}")
+
+
+def approx_index_to_dict(index: MDApproxIndex, include_dataset: bool = False) -> dict:
+    """Serialise an approximate (per-cell) index.
+
+    Parameters
+    ----------
+    index:
+        The preprocessed index.
+    include_dataset:
+        If True, embed the dataset snapshot the index was built against so
+        loading only needs the fairness oracle.  The per-cell hyperplane
+        assignment is not stored — it is a preprocessing artefact that online
+        answering never touches.
+    """
+    payload = {
+        "format": INDEX_FORMAT,
+        "index_kind": "approx",
+        "partition": _partition_to_dict(index.partition),
+        "assigned_angles": [
+            None if angles is None else np.asarray(angles, dtype=float).tolist()
+            for angles in index.assigned_angles
+        ],
+        "marked": [bool(flag) for flag in index.marked],
+        "n_hyperplanes": index.n_hyperplanes,
+        "oracle_calls": index.oracle_calls,
+        "timings": {
+            "hyperplane_construction": index.timings.hyperplane_construction,
+            "cell_plane_assignment": index.timings.cell_plane_assignment,
+            "mark_cells": index.timings.mark_cells,
+            "cell_coloring": index.timings.cell_coloring,
+        },
+    }
+    if include_dataset:
+        payload["dataset"] = dataset_to_dict(index.dataset)
+    return payload
+
+
+def approx_index_from_dict(
+    payload: dict,
+    oracle: FairnessOracle,
+    dataset: Dataset | None = None,
+) -> MDApproxIndex:
+    """Rebuild an approximate index for online answering.
+
+    Parameters
+    ----------
+    payload:
+        Output of :func:`approx_index_to_dict`.
+    oracle:
+        The fairness oracle (``MDONLINE`` re-checks queries against it).
+    dataset:
+        The dataset to answer queries over.  May be omitted when the payload
+        embeds the dataset (``include_dataset=True`` at save time).
+
+    Raises
+    ------
+    ConfigurationError
+        If no dataset is available, or the partition does not match the
+        dataset's dimensionality, or the stored cell assignment does not match
+        the reconstructed partition.
+    """
+    _check_payload(payload, "approx")
+    if dataset is None:
+        embedded = payload.get("dataset")
+        if embedded is None:
+            raise ConfigurationError(
+                "loading an approximate index requires a dataset "
+                "(none was supplied and none is embedded in the file)"
+            )
+        dataset = dataset_from_dict(embedded)
+    partition = _partition_from_dict(payload["partition"])
+    if partition.dimension != dataset.n_attributes - 1:
+        raise ConfigurationError(
+            f"index partition has dimension {partition.dimension} but the dataset has "
+            f"{dataset.n_attributes} scoring attributes"
+        )
+    assigned_payload = payload["assigned_angles"]
+    if len(assigned_payload) != partition.n_cells:
+        raise GeometryError(
+            f"stored assignment covers {len(assigned_payload)} cells but the reconstructed "
+            f"partition has {partition.n_cells}"
+        )
+    assigned = [
+        None if angles is None else np.asarray(angles, dtype=float) for angles in assigned_payload
+    ]
+    marked = [bool(flag) for flag in payload.get("marked", [False] * len(assigned))]
+    timings_payload = payload.get("timings", {})
+    timings = PreprocessingTimings(
+        hyperplane_construction=float(timings_payload.get("hyperplane_construction", 0.0)),
+        cell_plane_assignment=float(timings_payload.get("cell_plane_assignment", 0.0)),
+        mark_cells=float(timings_payload.get("mark_cells", 0.0)),
+        cell_coloring=float(timings_payload.get("cell_coloring", 0.0)),
+    )
+    return MDApproxIndex(
+        dataset=dataset,
+        oracle=oracle,
+        partition=partition,
+        assigned_angles=assigned,
+        marked=marked,
+        cell_plane_index=None,
+        n_hyperplanes=int(payload.get("n_hyperplanes", 0)),
+        oracle_calls=int(payload.get("oracle_calls", 0)),
+        timings=timings,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# file-level helpers
+# --------------------------------------------------------------------------- #
+def save_index(
+    index: TwoDIndex | MDExactIndex | MDApproxIndex,
+    path: str | Path,
+    include_dataset: bool = False,
+) -> None:
+    """Write any index kind to a JSON file.
+
+    ``include_dataset`` only affects approximate indexes (the other kinds are
+    self-contained).
+    """
+    if isinstance(index, TwoDIndex):
+        payload = two_d_index_to_dict(index)
+    elif isinstance(index, MDExactIndex):
+        payload = exact_index_to_dict(index)
+    elif isinstance(index, MDApproxIndex):
+        payload = approx_index_to_dict(index, include_dataset=include_dataset)
+    else:
+        raise ConfigurationError(f"cannot serialise index of type {type(index).__name__}")
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_index(
+    path: str | Path,
+    oracle: FairnessOracle | None = None,
+    dataset: Dataset | None = None,
+) -> TwoDIndex | MDExactIndex | MDApproxIndex:
+    """Read an index file, dispatching on its stored kind.
+
+    2-D and exact indexes ignore ``oracle`` and ``dataset``; approximate
+    indexes require an oracle and either a dataset argument or an embedded
+    dataset snapshot.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} does not contain valid JSON") from exc
+    kind = payload.get("index_kind") if isinstance(payload, dict) else None
+    if kind == "2d":
+        return two_d_index_from_dict(payload)
+    if kind == "exact":
+        return exact_index_from_dict(payload)
+    if kind == "approx":
+        if oracle is None:
+            raise ConfigurationError("loading an approximate index requires a fairness oracle")
+        return approx_index_from_dict(payload, oracle=oracle, dataset=dataset)
+    raise ConfigurationError(f"{path} is not a serialised repro index (kind={kind!r})")
+
+
+def _check_payload(payload: dict, expected_kind: str) -> None:
+    if not isinstance(payload, dict) or payload.get("format") != INDEX_FORMAT:
+        raise ConfigurationError(
+            f"payload is not a serialised index (expected format {INDEX_FORMAT!r})"
+        )
+    if payload.get("index_kind") != expected_kind:
+        raise ConfigurationError(
+            f"payload holds a {payload.get('index_kind')!r} index, expected {expected_kind!r}"
+        )

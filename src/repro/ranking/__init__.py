@@ -1,0 +1,24 @@
+"""Ranking model: linear scoring functions, orderings, top-k helpers and query workloads."""
+
+from repro.ranking.queries import perturbed_queries, random_queries, simplex_grid_queries
+from repro.ranking.scoring import LinearScoringFunction, random_scoring_function
+from repro.ranking.topk import (
+    group_counts_at_k,
+    group_fraction_at_k,
+    kendall_tau_distance,
+    ordering_is_valid,
+    resolve_k,
+)
+
+__all__ = [
+    "LinearScoringFunction",
+    "random_scoring_function",
+    "random_queries",
+    "perturbed_queries",
+    "simplex_grid_queries",
+    "resolve_k",
+    "group_counts_at_k",
+    "group_fraction_at_k",
+    "ordering_is_valid",
+    "kendall_tau_distance",
+]

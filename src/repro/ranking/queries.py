@@ -1,0 +1,75 @@
+"""Query workload generators.
+
+The paper's validation and timing experiments (§6.2, §6.3) issue batches of
+random scoring functions ("100 random queries", "30 random queries") against
+the preprocessed index.  These helpers generate such workloads reproducibly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ranking.scoring import LinearScoringFunction, random_scoring_function
+
+__all__ = ["random_queries", "perturbed_queries", "simplex_grid_queries"]
+
+
+def random_queries(
+    dimension: int, count: int, seed: int | None = 0
+) -> list[LinearScoringFunction]:
+    """Draw ``count`` scoring functions uniformly over directions."""
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    rng = np.random.default_rng(seed)
+    return [random_scoring_function(dimension, rng) for _ in range(count)]
+
+
+def perturbed_queries(
+    base: LinearScoringFunction, count: int, scale: float = 0.1, seed: int | None = 0
+) -> list[LinearScoringFunction]:
+    """Generate queries near a base function (a designer nudging weights).
+
+    Each query adds zero-mean Gaussian noise of the given ``scale`` to the base
+    weights and clips at zero, modelling the iterative tuning loop described in
+    the paper's introduction.
+    """
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    if scale < 0:
+        raise ConfigurationError("scale must be non-negative")
+    rng = np.random.default_rng(seed)
+    base_weights = base.as_array()
+    queries = []
+    while len(queries) < count:
+        candidate = np.clip(base_weights + rng.normal(scale=scale, size=base.dimension), 0.0, None)
+        if np.any(candidate > 0):
+            queries.append(LinearScoringFunction(tuple(candidate)))
+    return queries
+
+
+def simplex_grid_queries(dimension: int, resolution: int) -> list[LinearScoringFunction]:
+    """Enumerate weight vectors on a regular grid of the probability simplex.
+
+    Useful for exhaustively mapping which functions are satisfactory in low
+    dimensions (the "layout" experiments of §6.2).
+    """
+    if dimension < 2:
+        raise ConfigurationError("dimension must be >= 2")
+    if resolution < 1:
+        raise ConfigurationError("resolution must be >= 1")
+    queries: list[LinearScoringFunction] = []
+
+    def recurse(prefix: list[int], remaining: int, slots: int) -> None:
+        if slots == 1:
+            weights = prefix + [remaining]
+            if any(weights):
+                queries.append(
+                    LinearScoringFunction(tuple(value / resolution for value in weights))
+                )
+            return
+        for value in range(remaining + 1):
+            recurse(prefix + [value], remaining - value, slots - 1)
+
+    recurse([], resolution, dimension)
+    return queries

@@ -1,0 +1,154 @@
+"""Linear scoring functions and the orderings they induce.
+
+The paper's ranking model (§2) scores an item ``t`` as the weighted sum
+``f(t) = Σ w_j · t[j]`` with non-negative weights, sorts items by decreasing
+score and optionally truncates to the top-``k``.  A scoring function is
+identified with the *ray* of its weight vector: positive scalings induce the
+same ordering, so equality and distance between functions are defined on the
+angle representation (see :mod:`repro.geometry.angles`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ScoringFunctionError
+from repro.geometry.angles import angular_distance, to_angles, to_weights
+
+__all__ = ["LinearScoringFunction", "random_scoring_function"]
+
+
+@dataclass(frozen=True)
+class LinearScoringFunction:
+    """A linear scoring function ``f(t) = Σ w_j · t[j]`` with non-negative weights.
+
+    Instances are immutable and hashable; two functions compare equal exactly
+    when their weight tuples are identical (use :meth:`same_ray` /
+    :meth:`angular_distance_to` for scale-insensitive comparisons).
+    """
+
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        weights = tuple(float(value) for value in self.weights)
+        if len(weights) < 2:
+            raise ScoringFunctionError("a scoring function needs at least two weights")
+        if not all(np.isfinite(weights)):
+            raise ScoringFunctionError("weights must be finite")
+        if any(value < 0 for value in weights):
+            raise ScoringFunctionError("weights must be non-negative (paper §2)")
+        if all(value == 0 for value in weights):
+            raise ScoringFunctionError("at least one weight must be positive")
+        object.__setattr__(self, "weights", weights)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_angles(cls, angles: np.ndarray, radius: float = 1.0) -> "LinearScoringFunction":
+        """Build a function from its angle-coordinate representation."""
+        return cls(tuple(to_weights(np.asarray(angles, dtype=float), radius=radius)))
+
+    @classmethod
+    def uniform(cls, dimension: int) -> "LinearScoringFunction":
+        """The equal-weights function ``(1/d, ..., 1/d)``."""
+        if dimension < 2:
+            raise ScoringFunctionError("dimension must be >= 2")
+        return cls(tuple([1.0 / dimension] * dimension))
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+    @property
+    def dimension(self) -> int:
+        """Number of scoring attributes the function expects."""
+        return len(self.weights)
+
+    def as_array(self) -> np.ndarray:
+        """Weights as a numpy array."""
+        return np.asarray(self.weights, dtype=float)
+
+    def normalized(self) -> "LinearScoringFunction":
+        """The same ray with unit Euclidean norm."""
+        array = self.as_array()
+        return LinearScoringFunction(tuple(array / np.linalg.norm(array)))
+
+    def to_angles(self) -> np.ndarray:
+        """Angle-coordinate representation of the function's ray."""
+        return to_angles(self.as_array())
+
+    def angular_distance_to(self, other: "LinearScoringFunction") -> float:
+        """Angular distance (radians) to another function's ray."""
+        return angular_distance(self.as_array(), other.as_array())
+
+    def same_ray(self, other: "LinearScoringFunction", tolerance: float = 1e-6) -> bool:
+        """Return True if the two functions induce the same ordering on every dataset."""
+        return self.angular_distance_to(other) <= tolerance
+
+    # ------------------------------------------------------------------ #
+    # scoring and ordering
+    # ------------------------------------------------------------------ #
+    def score(self, dataset: Dataset) -> np.ndarray:
+        """Score every item of the dataset."""
+        self._check_dataset(dataset)
+        return dataset.scores @ self.as_array()
+
+    def score_item(self, item: np.ndarray) -> float:
+        """Score a single item vector."""
+        item = np.asarray(item, dtype=float)
+        if item.shape != (self.dimension,):
+            raise ScoringFunctionError(
+                f"item of dimension {item.shape} does not match function of dimension "
+                f"{self.dimension}"
+            )
+        return float(np.dot(item, self.as_array()))
+
+    def order(self, dataset: Dataset) -> np.ndarray:
+        """Return item indices ordered by decreasing score.
+
+        Ties are broken by ascending item index so the ordering is
+        deterministic, which keeps oracle evaluations reproducible.
+        """
+        scores = self.score(dataset)
+        # numpy's stable sort is ascending; sort by negative score to get a
+        # descending order while preserving index order within ties.
+        return np.argsort(-scores, kind="stable")
+
+    def top_k(self, dataset: Dataset, k: int) -> np.ndarray:
+        """Return the indices of the ``k`` highest-scoring items, in rank order."""
+        if k <= 0:
+            raise ScoringFunctionError("k must be positive")
+        return self.order(dataset)[: min(k, dataset.n_items)]
+
+    def _check_dataset(self, dataset: Dataset) -> None:
+        if dataset.n_attributes != self.dimension:
+            raise ScoringFunctionError(
+                f"function has {self.dimension} weights but the dataset has "
+                f"{dataset.n_attributes} scoring attributes"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        formatted = ", ".join(f"{value:.4g}" for value in self.weights)
+        return f"LinearScoringFunction([{formatted}])"
+
+
+def random_scoring_function(
+    dimension: int, rng: np.random.Generator | None = None
+) -> LinearScoringFunction:
+    """Draw a scoring function uniformly at random from the space of directions.
+
+    The direction is uniform on the first orthant of the unit sphere (drawn
+    from the absolute value of a standard Gaussian, then normalised), which is
+    the natural "random query" distribution used in the paper's validation and
+    timing experiments (§6.2–6.3).
+    """
+    if dimension < 2:
+        raise ScoringFunctionError("dimension must be >= 2")
+    rng = rng if rng is not None else np.random.default_rng()
+    direction = np.abs(rng.normal(size=dimension))
+    while not np.any(direction > 0):  # pragma: no cover - probability zero
+        direction = np.abs(rng.normal(size=dimension))
+    return LinearScoringFunction(tuple(direction / np.linalg.norm(direction)))

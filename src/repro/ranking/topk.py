@@ -1,0 +1,110 @@
+"""Helpers over ranked lists: prefixes, group counts and comparisons.
+
+These utilities sit between the ranking model and the fairness layer: fairness
+oracles and measures consume an *ordering* (an array of item indices) and need
+to count protected-group members in prefixes of that ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DatasetError
+
+__all__ = [
+    "resolve_k",
+    "group_counts_at_k",
+    "group_fraction_at_k",
+    "ordering_is_valid",
+    "kendall_tau_distance",
+]
+
+
+def resolve_k(dataset: Dataset, k: int | float) -> int:
+    """Turn a top-``k`` specification into an item count.
+
+    ``k`` may be an absolute count (``int >= 1``) or a fraction of the dataset
+    (``0 < k < 1``), which is how the paper states several constraints ("the
+    top-ranked 30 %").  The result is clamped to ``[1, n]``.
+    """
+    if isinstance(k, bool):
+        raise DatasetError("k must be a count or a fraction, not a boolean")
+    if isinstance(k, float) and not k.is_integer():
+        if not 0.0 < k < 1.0:
+            raise DatasetError("a fractional k must lie strictly between 0 and 1")
+        return max(1, int(round(k * dataset.n_items)))
+    count = int(k)
+    if count < 1:
+        raise DatasetError("k must be at least 1")
+    return min(count, dataset.n_items)
+
+
+def ordering_is_valid(ordering: np.ndarray, n_items: int) -> bool:
+    """Return True if ``ordering`` is a permutation of ``0..n_items-1``."""
+    ordering = np.asarray(ordering)
+    if ordering.shape != (n_items,):
+        return False
+    return bool(np.array_equal(np.sort(ordering), np.arange(n_items)))
+
+
+def group_counts_at_k(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, k: int
+) -> dict:
+    """Count the members of each group of a type attribute in the top-``k`` prefix."""
+    ordering = np.asarray(ordering, dtype=int)
+    if k < 1 or k > ordering.size:
+        raise DatasetError(f"k={k} outside valid range 1..{ordering.size}")
+    column = dataset.type_column(attribute)
+    prefix = column[ordering[:k]]
+    values, counts = np.unique(prefix, return_counts=True)
+    return {value: int(count) for value, count in zip(values.tolist(), counts.tolist())}
+
+
+def group_fraction_at_k(
+    dataset: Dataset, ordering: np.ndarray, attribute: str, group, k: int
+) -> float:
+    """Fraction of the top-``k`` prefix belonging to one group (0 if absent)."""
+    counts = group_counts_at_k(dataset, ordering, attribute, k)
+    return counts.get(group, 0) / float(k)
+
+
+def kendall_tau_distance(first: np.ndarray, second: np.ndarray) -> int:
+    """Number of discordant pairs between two orderings of the same items.
+
+    Used in tests to verify that orderings change exactly at ordering-exchange
+    boundaries (one adjacent swap ⇒ Kendall distance 1).
+    """
+    first = np.asarray(first, dtype=int)
+    second = np.asarray(second, dtype=int)
+    if first.shape != second.shape:
+        raise DatasetError("orderings must have the same length")
+    n = first.size
+    position_in_second = np.empty(n, dtype=int)
+    position_in_second[second] = np.arange(n)
+    mapped = position_in_second[first]
+    # Count inversions of `mapped` with a merge-sort style O(n log n) pass.
+    return _count_inversions(mapped.tolist())
+
+
+def _count_inversions(values: list[int]) -> int:
+    if len(values) <= 1:
+        return 0
+    middle = len(values) // 2
+    left = values[:middle]
+    right = values[middle:]
+    inversions = _count_inversions(left) + _count_inversions(right)
+    merged = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+            inversions += len(left) - i
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    values[:] = merged
+    return inversions

@@ -1,0 +1,31 @@
+"""Plain-text visualisation and figure-data export.
+
+The paper presents its evaluation as figures.  This reproduction has no
+plotting dependency, so the benchmarks and the CLI render the same information
+in two forms instead:
+
+* ASCII charts (:mod:`repro.viz.ascii_charts`) — line charts, bar charts and
+  histograms drawn with characters, good enough to see the *shape* of a curve
+  in a terminal or a text report; and
+* CSV export (:mod:`repro.viz.export`) — the underlying series written to
+  disk, ready to be re-plotted with any external tool.
+"""
+
+from repro.viz.ascii_charts import bar_chart, histogram_chart, line_chart, sparkline
+from repro.viz.export import (
+    rows_to_csv,
+    series_to_csv,
+    sweep_to_csv,
+    write_figure_artifacts,
+)
+
+__all__ = [
+    "line_chart",
+    "bar_chart",
+    "histogram_chart",
+    "sparkline",
+    "rows_to_csv",
+    "series_to_csv",
+    "sweep_to_csv",
+    "write_figure_artifacts",
+]

@@ -1,0 +1,178 @@
+"""ASCII chart rendering for experiment series.
+
+Every function returns a multi-line string; nothing is printed.  The charts
+are intentionally simple — the goal is to make the *shape* of a measured curve
+(growth with ``n``, a dominating step, a skewed histogram) visible in terminal
+output and text reports without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["line_chart", "bar_chart", "histogram_chart", "sparkline"]
+
+#: Marker characters assigned to series, in order.
+_MARKERS = "*o+x#@%&"
+
+#: Eight-level block characters used by :func:`sparkline`.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def _format_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.001:
+        return f"{value:.2e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def _scale(values: np.ndarray, log: bool) -> np.ndarray:
+    if not log:
+        return values
+    positive = values[values > 0]
+    floor = float(positive.min()) / 10.0 if positive.size else 1e-12
+    return np.log10(np.maximum(values, floor))
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 15,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Render one or more series sharing an x axis as an ASCII line chart.
+
+    Parameters
+    ----------
+    xs:
+        Shared x values (need not be evenly spaced).
+    series:
+        Mapping from series name to y values (same length as ``xs``).
+    width, height:
+        Plot area size in characters.
+    title, x_label, y_label:
+        Labels; the y label is printed above the axis, the x label below.
+    log_y:
+        Plot ``log10(y)`` instead of ``y`` (non-positive values are clamped).
+    """
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    if width < 10 or height < 4:
+        raise ConfigurationError("chart area must be at least 10x4 characters")
+    xs_array = np.asarray(list(xs), dtype=float)
+    if xs_array.size < 2:
+        raise ConfigurationError("line_chart needs at least two x values")
+    for name, ys in series.items():
+        if len(ys) != xs_array.size:
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} values for {xs_array.size} x values"
+            )
+
+    all_y = np.concatenate([np.asarray(list(ys), dtype=float) for ys in series.values()])
+    scaled_all = _scale(all_y, log_y)
+    y_min, y_max = float(scaled_all.min()), float(scaled_all.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs_array.min()), float(xs_array.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (name, ys) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        scaled = _scale(np.asarray(list(ys), dtype=float), log_y)
+        for x, y in zip(xs_array, scaled):
+            column = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_value = 10**y_max if log_y else y_max
+    bottom_value = 10**y_min if log_y else y_min
+    axis_label = f"{y_label}{' (log)' if log_y else ''}"
+    lines.append(f"{axis_label}  [{_format_number(bottom_value)} .. {_format_number(top_value)}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label}: {_format_number(x_min)} .. {_format_number(x_max)}"
+    )
+    legend = "  ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} {name}" for index, name in enumerate(series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render labelled values as a horizontal bar chart."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must have the same length")
+    if not labels:
+        raise ConfigurationError("bar_chart needs at least one bar")
+    if width < 5:
+        raise ConfigurationError("bar width must be at least 5 characters")
+    values_array = np.asarray(list(values), dtype=float)
+    if np.any(values_array < 0):
+        raise ConfigurationError("bar_chart only renders non-negative values")
+    maximum = float(values_array.max())
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values_array):
+        length = 0 if maximum == 0 else int(round(value / maximum * width))
+        bar = "#" * length
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {_format_number(float(value))}")
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Bin values and render the counts as a horizontal bar chart."""
+    if bins < 1:
+        raise ConfigurationError("histogram needs at least one bin")
+    values_array = np.asarray(list(values), dtype=float)
+    if values_array.size == 0:
+        raise ConfigurationError("histogram needs at least one value")
+    counts, edges = np.histogram(values_array, bins=bins)
+    labels = [
+        f"[{_format_number(float(low))}, {_format_number(float(high))})"
+        for low, high in zip(edges[:-1], edges[1:])
+    ]
+    return bar_chart(labels, counts.tolist(), width=width, title=title)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence of values as a one-line block-character sparkline."""
+    values_array = np.asarray(list(values), dtype=float)
+    if values_array.size == 0:
+        raise ConfigurationError("sparkline needs at least one value")
+    low, high = float(values_array.min()), float(values_array.max())
+    if math.isclose(high, low):
+        return _SPARK_LEVELS[4] * values_array.size
+    levels = np.round(
+        (values_array - low) / (high - low) * (len(_SPARK_LEVELS) - 2)
+    ).astype(int) + 1
+    return "".join(_SPARK_LEVELS[level] for level in levels)

@@ -1,0 +1,102 @@
+"""CSV export of experiment series and combined figure artifacts.
+
+Each paper figure reproduced by the benchmark suite boils down to one or more
+(x, y) series.  :func:`sweep_to_csv` and :func:`series_to_csv` write those
+series as CSV for external plotting, and :func:`write_figure_artifacts` writes
+the standard pair of files (``<name>.csv`` with the data and ``<name>.txt``
+with an ASCII rendering) that the CLI's ``figures`` command produces per
+experiment.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.viz.ascii_charts import line_chart
+
+if TYPE_CHECKING:  # pragma: no cover - import for type annotations only
+    from repro.experiments.harness import SweepResult
+
+__all__ = ["rows_to_csv", "series_to_csv", "sweep_to_csv", "write_figure_artifacts"]
+
+
+def rows_to_csv(path: str | Path, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+    """Write a header and rows to a CSV file."""
+    headers = list(headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row of length {len(row)} does not match {len(headers)} headers"
+            )
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(list(row))
+
+
+def series_to_csv(
+    path: str | Path,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+) -> None:
+    """Write an x column and one column per named series to a CSV file."""
+    if not series:
+        raise ConfigurationError("series_to_csv needs at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} values for {len(xs)} x values"
+            )
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x] + [series[name][index] for name in series])
+    rows_to_csv(path, headers, rows)
+
+
+def sweep_to_csv(path: str | Path, sweep: SweepResult) -> None:
+    """Write a :class:`~repro.experiments.harness.SweepResult` to a CSV file."""
+    names = list(sweep.series)
+    if not names:
+        raise ConfigurationError("cannot export an empty sweep")
+    xs = sweep.series[names[0]].xs
+    series = {name: sweep.series[name].ys for name in names}
+    series_to_csv(path, xs, series, x_label=sweep.parameter)
+
+
+def write_figure_artifacts(
+    sweep: SweepResult,
+    directory: str | Path,
+    name: str,
+    title: str = "",
+    log_y: bool = False,
+) -> tuple[Path, Path]:
+    """Write the data (CSV) and an ASCII rendering (TXT) of one figure.
+
+    Returns the two paths written: ``<directory>/<name>.csv`` and
+    ``<directory>/<name>.txt``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    csv_path = directory / f"{name}.csv"
+    txt_path = directory / f"{name}.txt"
+    sweep_to_csv(csv_path, sweep)
+
+    names = list(sweep.series)
+    xs = sweep.series[names[0]].xs
+    series = {series_name: sweep.series[series_name].ys for series_name in names}
+    chart = line_chart(
+        xs,
+        series,
+        title=title or name,
+        x_label=sweep.parameter,
+        y_label=", ".join(names) if len(names) <= 2 else "value",
+        log_y=log_y,
+    )
+    txt_path.write_text(chart + "\n", encoding="utf-8")
+    return csv_path, txt_path

@@ -1,0 +1,179 @@
+"""Tests for the §5 approximation pipeline (CELLPLANE× / MARKCELL / CELLCOLORING / MDONLINE)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.approx import ApproximatePreprocessor, MDApproxIndex, md_online
+from repro.core.multi_dim import SatRegions, md_baseline
+from repro.data.synthetic import make_compas_like
+from repro.exceptions import (
+    ConfigurationError,
+    GeometryError,
+    NoSatisfactoryFunctionError,
+    NotPreprocessedError,
+)
+from repro.fairness.oracle import CallableOracle
+from repro.fairness.proportional import TopKGroupBoundOracle
+from repro.geometry.angles import to_weights
+from repro.geometry.partition import UniformGridPartition, theorem6_bound
+from repro.ranking.queries import random_queries
+from repro.ranking.scoring import LinearScoringFunction
+
+
+@pytest.fixture(scope="module")
+def approx_setup():
+    dataset = make_compas_like(n=30, seed=11).project(
+        ["c_days_from_compas", "juv_other_count", "start"]
+    )
+    oracle = TopKGroupBoundOracle("race", "African-American", k=9, max_count=6)
+    preprocessor = ApproximatePreprocessor(dataset, oracle, n_cells=36, max_hyperplanes=30)
+    index = preprocessor.run()
+    return dataset, oracle, index
+
+
+class TestPreprocessing:
+    def test_requires_three_attributes(self, paper_2d_dataset, balanced_topk_oracle):
+        with pytest.raises(GeometryError):
+            ApproximatePreprocessor(paper_2d_dataset, balanced_topk_oracle)
+
+    def test_validates_n_cells(self, paper_3d_dataset, balanced_topk_oracle):
+        with pytest.raises(ConfigurationError):
+            ApproximatePreprocessor(paper_3d_dataset, balanced_topk_oracle, n_cells=0)
+
+    def test_validates_partition_kind(self, paper_3d_dataset, balanced_topk_oracle):
+        with pytest.raises(ConfigurationError):
+            ApproximatePreprocessor(paper_3d_dataset, balanced_topk_oracle, partition="weird")
+
+    def test_partition_dimension_checked(self, paper_3d_dataset, balanced_topk_oracle):
+        wrong = UniformGridPartition(5, 32)
+        with pytest.raises(ConfigurationError):
+            ApproximatePreprocessor(paper_3d_dataset, balanced_topk_oracle, partition=wrong)
+
+    def test_index_covers_every_cell(self, approx_setup):
+        _, _, index = approx_setup
+        assert len(index.assigned_angles) == index.n_cells
+        assert len(index.marked) == index.n_cells
+
+    def test_every_cell_assigned_when_satisfiable(self, approx_setup):
+        """CELLCOLORING must propagate a function to every cell once one exists."""
+        _, _, index = approx_setup
+        assert index.has_satisfactory_function
+        assert all(angles is not None for angles in index.assigned_angles)
+
+    def test_marked_cells_carry_functions_inside_the_cell(self, approx_setup):
+        _, _, index = approx_setup
+        cells = index.partition.cells()
+        for cell in cells:
+            if index.marked[cell.index]:
+                assert cell.contains(index.assigned_angles[cell.index], tolerance=1e-6)
+
+    def test_assigned_functions_are_satisfactory(self, approx_setup):
+        dataset, oracle, index = approx_setup
+        for angles in index.assigned_angles:
+            function = LinearScoringFunction(tuple(to_weights(np.asarray(angles))))
+            assert oracle.evaluate_function(function, dataset)
+
+    def test_timings_recorded(self, approx_setup):
+        _, _, index = approx_setup
+        timings = index.timings
+        assert timings.total >= timings.mark_cells
+        assert timings.mark_cells > 0.0
+        assert timings.hyperplane_construction > 0.0
+
+    def test_approximation_bound_matches_theorem6(self, approx_setup):
+        _, _, index = approx_setup
+        assert index.approximation_bound() == pytest.approx(
+            theorem6_bound(index.n_cells, 3)
+        )
+
+    def test_adaptive_partition_backend(self):
+        dataset = make_compas_like(n=15, seed=12).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        )
+        oracle = CallableOracle(lambda ordering, data: True, "always")
+        index = ApproximatePreprocessor(
+            dataset, oracle, n_cells=25, partition="angle", max_hyperplanes=10
+        ).run()
+        assert index.has_satisfactory_function
+
+    def test_unsatisfiable_constraint_leaves_cells_unassigned(self):
+        dataset = make_compas_like(n=12, seed=13).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        )
+        oracle = CallableOracle(lambda ordering, data: False, "never")
+        index = ApproximatePreprocessor(dataset, oracle, n_cells=16, max_hyperplanes=10).run()
+        assert not index.has_satisfactory_function
+        assert index.n_marked_cells == 0
+
+
+class TestMDOnline:
+    def test_satisfactory_query_returned_unchanged(self, approx_setup):
+        dataset, oracle, index = approx_setup
+        for query in random_queries(3, 40, seed=14):
+            if oracle.evaluate_function(query, dataset):
+                result = md_online(index, query)
+                assert result.satisfactory
+                assert result.angular_distance == 0.0
+                return
+        pytest.skip("no satisfactory random query found for this configuration")
+
+    def test_repaired_queries_are_satisfactory(self, approx_setup):
+        dataset, oracle, index = approx_setup
+        repaired = 0
+        for query in random_queries(3, 25, seed=15):
+            result = md_online(index, query)
+            if not result.satisfactory:
+                repaired += 1
+                assert oracle.evaluate_function(result.function, dataset)
+        assert repaired > 0
+
+    def test_theorem6_guarantee_against_exact_baseline(self, approx_setup):
+        """MDONLINE answers are within the Theorem 6 bound of the exact optimum."""
+        dataset, oracle, index = approx_setup
+        exact_index = SatRegions(dataset, oracle, max_hyperplanes=30).run()
+        bound = index.approximation_bound()
+        for query in random_queries(3, 10, seed=16):
+            if oracle.evaluate_function(query, dataset):
+                continue
+            approximate = md_online(index, query)
+            exact = md_baseline(dataset, oracle, exact_index, query)
+            assert approximate.angular_distance <= exact.angular_distance + bound + 1e-6
+
+    def test_radius_preserved(self, approx_setup):
+        dataset, oracle, index = approx_setup
+        for query in random_queries(3, 20, seed=17):
+            if oracle.evaluate_function(query, dataset):
+                continue
+            scaled = LinearScoringFunction(tuple(4.0 * query.as_array()))
+            result = md_online(index, scaled)
+            assert np.linalg.norm(result.function.as_array()) == pytest.approx(4.0, rel=1e-6)
+            return
+
+    def test_dimension_mismatch(self, approx_setup):
+        _, _, index = approx_setup
+        with pytest.raises(GeometryError):
+            md_online(index, LinearScoringFunction((1.0, 1.0)))
+
+    def test_not_preprocessed(self, approx_setup):
+        dataset, oracle, _ = approx_setup
+        empty = MDApproxIndex(
+            dataset=dataset, oracle=oracle, partition=UniformGridPartition(2, 4)
+        )
+        with pytest.raises(NotPreprocessedError):
+            md_online(empty, LinearScoringFunction((1.0, 1.0, 1.0)))
+
+    def test_unsatisfiable_raises(self):
+        dataset = make_compas_like(n=10, seed=18).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        )
+        oracle = CallableOracle(lambda ordering, data: False, "never")
+        index = ApproximatePreprocessor(dataset, oracle, n_cells=9, max_hyperplanes=6).run()
+        with pytest.raises(NoSatisfactoryFunctionError):
+            md_online(index, LinearScoringFunction((1.0, 1.0, 1.0)))
+
+    def test_query_method_on_index(self, approx_setup):
+        _, _, index = approx_setup
+        result = index.query(LinearScoringFunction((0.4, 0.3, 0.3)))
+        assert result.function.dimension == 3

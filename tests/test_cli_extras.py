@@ -1,0 +1,137 @@
+"""Tests for the ``audit`` and ``figures`` CLI subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_audit_subcommand_is_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "audit",
+                "--attribute",
+                "race",
+                "--group",
+                "African-American",
+                "--weights",
+                "0.5,0.3,0.2",
+            ]
+        )
+        assert args.command == "audit"
+        assert args.k == pytest.approx(0.3)
+
+    def test_figures_subcommand_is_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["figures", "--output", "out", "--names", "fig19_region_growth"])
+        assert args.command == "figures"
+        assert args.output == "out"
+
+    def test_unknown_command_is_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+        capsys.readouterr()
+
+
+class TestAuditCommand:
+    def test_audit_prints_report_for_synthetic_compas(self, capsys):
+        exit_code = main(
+            [
+                "audit",
+                "--dataset",
+                "compas",
+                "--n",
+                "120",
+                "--d",
+                "3",
+                "--attribute",
+                "race",
+                "--group",
+                "African-American",
+                "--k",
+                "0.3",
+                "--weights",
+                "0.5,0.3,0.2",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "fairness audit" in captured.out
+        assert "rND" in captured.out
+
+    def test_audit_with_csv_dataset(self, tmp_path, capsys, small_compas_3d):
+        path = tmp_path / "data.csv"
+        small_compas_3d.to_csv(str(path))
+        exit_code = main(
+            [
+                "audit",
+                "--csv",
+                str(path),
+                "--attribute",
+                "race",
+                "--group",
+                "African-American",
+                "--k",
+                "10",
+                "--weights",
+                "0.4,0.3,0.3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "protected in top-k" in captured.out
+
+
+class TestSuggestExplain:
+    def test_suggest_with_explain_flag_prints_explanation(self, capsys):
+        exit_code = main(
+            [
+                "suggest",
+                "--dataset",
+                "compas",
+                "--n",
+                "80",
+                "--d",
+                "3",
+                "--attribute",
+                "race",
+                "--group",
+                "African-American",
+                "--k",
+                "0.3",
+                "--max-share",
+                "0.6",
+                "--n-cells",
+                "27",
+                "--max-hyperplanes",
+                "40",
+                "--weights",
+                "0.5,0.3,0.2",
+                "--explain",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        # Either the query was already fair (short message) or a full repair
+        # explanation is printed.
+        assert (
+            "already satisfy" in captured.out
+            or "top-" in captured.out
+            and "weight changes" in captured.out
+        )
+
+
+@pytest.mark.slow
+class TestFiguresCommand:
+    def test_figures_writes_requested_artifacts(self, tmp_path, capsys):
+        exit_code = main(
+            ["figures", "--output", str(tmp_path), "--names", "fig19_region_growth"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "fig19_region_growth" in captured.out
+        assert (tmp_path / "fig19_region_growth.csv").exists()
+        assert (tmp_path / "fig19_region_growth.txt").exists()

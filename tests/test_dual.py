@@ -1,0 +1,168 @@
+"""Tests for ordering exchanges: 2-D exchange angles and HYPERPOLAR.
+
+The key invariant (which the whole paper rests on) is checked property-style:
+on either side of a pair's ordering exchange, the pair's relative order under
+the corresponding scoring functions flips.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.dataset import Dataset
+from repro.exceptions import GeometryError
+from repro.geometry.angles import to_weights
+from repro.geometry.dual import (
+    build_exchange_angles_2d,
+    build_exchange_hyperplanes,
+    exchange_angle_2d,
+    exchange_normal,
+    has_exchange,
+    hyperpolar,
+)
+
+
+def item_vectors(dimension: int):
+    return arrays(
+        float,
+        dimension,
+        elements=st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestExchangeNormal:
+    def test_is_difference(self):
+        normal = exchange_normal(np.array([1.0, 2.0]), np.array([3.0, 1.0]))
+        assert np.allclose(normal, [-2.0, 1.0])
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(GeometryError):
+            exchange_normal(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestHasExchange:
+    def test_dominated_pair_has_no_exchange(self):
+        assert not has_exchange(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+
+    def test_identical_items_have_no_exchange(self):
+        assert not has_exchange(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_incomparable_pair_has_exchange(self):
+        assert has_exchange(np.array([1.0, 2.0]), np.array([2.0, 1.0]))
+
+
+class TestExchangeAngle2D:
+    def test_paper_example(self):
+        """The exchange of (1,2) and (2,1) is at 45 degrees (paper Figure 2)."""
+        angle = exchange_angle_2d(np.array([1.0, 2.0]), np.array([2.0, 1.0]))
+        assert angle == pytest.approx(math.pi / 4)
+
+    def test_requires_2d(self):
+        with pytest.raises(GeometryError):
+            exchange_angle_2d(np.array([1.0, 2.0, 3.0]), np.array([2.0, 1.0, 3.0]))
+
+    def test_dominated_pair_raises(self):
+        with pytest.raises(GeometryError):
+            exchange_angle_2d(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+
+    @given(item_vectors(2), item_vectors(2))
+    @settings(max_examples=100, deadline=None)
+    def test_order_flips_across_the_exchange(self, first, second):
+        assume(has_exchange(first, second))
+        angle = exchange_angle_2d(first, second)
+        assume(1e-6 < angle < math.pi / 2 - 1e-6)
+        delta = min(angle, math.pi / 2 - angle) / 2
+        below = np.array([math.cos(angle - delta), math.sin(angle - delta)])
+        above = np.array([math.cos(angle + delta), math.sin(angle + delta)])
+        sign_below = np.sign(np.dot(below, first - second))
+        sign_above = np.sign(np.dot(above, first - second))
+        assume(sign_below != 0 and sign_above != 0)
+        assert sign_below == -sign_above
+
+    @given(item_vectors(2), item_vectors(2))
+    @settings(max_examples=100, deadline=None)
+    def test_scores_tie_at_the_exchange(self, first, second):
+        assume(has_exchange(first, second))
+        angle = exchange_angle_2d(first, second)
+        weights = np.array([math.cos(angle), math.sin(angle)])
+        assert np.dot(weights, first) == pytest.approx(np.dot(weights, second), rel=1e-6, abs=1e-9)
+
+
+class TestHyperpolar:
+    def test_requires_md(self):
+        with pytest.raises(GeometryError):
+            hyperpolar(np.array([1.0, 2.0]), np.array([2.0, 1.0]))
+
+    def test_dominated_pair_raises(self):
+        with pytest.raises(GeometryError):
+            hyperpolar(np.array([2.0, 2.0, 2.0]), np.array([1.0, 1.0, 1.0]))
+
+    def test_label_is_preserved(self):
+        plane = hyperpolar(np.array([1.0, 2.0, 3.0]), np.array([2.0, 4.0, 1.0]), label=(0, 1))
+        assert plane.label == (0, 1)
+
+    def test_paper_figure8_pair(self):
+        """The exchange of t1=(1,2,3) and t2=(2,4,1) from Figure 7/8 is representable."""
+        plane = hyperpolar(np.array([1.0, 2.0, 3.0]), np.array([2.0, 4.0, 1.0]))
+        assert plane.dimension == 2
+
+    @given(item_vectors(3), item_vectors(3))
+    @settings(max_examples=60, deadline=None)
+    def test_points_on_the_hyperplane_give_near_ties(self, first, second):
+        """Angle points on the HYPERPOLAR hyperplane map to rays scoring the pair nearly equally."""
+        assume(has_exchange(first, second))
+        plane = hyperpolar(first, second)
+        coefficients = plane.as_array()
+        # Construct a point exactly on the plane inside the legal box when possible.
+        base = np.full(plane.dimension, 0.5)
+        direction = coefficients / np.dot(coefficients, coefficients)
+        point = base + (1.0 - float(np.dot(coefficients, base))) * direction
+        assume(np.all(point >= 0.0) and np.all(point <= math.pi / 2))
+        weights = to_weights(point)
+        score_gap = abs(float(np.dot(weights, first - second)))
+        scale = max(np.linalg.norm(first), np.linalg.norm(second))
+        # The angle-space hyperplane is a chord approximation of the curved
+        # exchange locus, so ties are approximate but must be small.
+        assert score_gap <= 0.35 * scale
+
+
+class TestBatchConstruction:
+    def test_build_exchange_angles_counts(self, paper_2d_dataset):
+        exchanges = build_exchange_angles_2d(paper_2d_dataset)
+        # All 5 items of Figure 3 are mutually non-dominated: C(5,2)=10 exchanges.
+        assert len(exchanges) == 10
+        assert all(0.0 <= angle <= math.pi / 2 for angle, _, _ in exchanges)
+
+    def test_build_exchange_angles_requires_2d(self, paper_3d_dataset):
+        with pytest.raises(GeometryError):
+            build_exchange_angles_2d(paper_3d_dataset)
+
+    def test_build_exchange_hyperplanes(self, paper_3d_dataset):
+        hyperplanes = build_exchange_hyperplanes(paper_3d_dataset)
+        labels = {plane.label for plane in hyperplanes}
+        assert all(i < j for i, j in labels)
+        # t3=(5.3,1,6) vs t1=(1,2,3): t3 does not dominate t1 (1 < 2 on y), so
+        # every pair except dominated ones appears.
+        assert len(hyperplanes) >= 4
+
+    def test_build_exchange_hyperplanes_subset(self, paper_3d_dataset):
+        subset = build_exchange_hyperplanes(paper_3d_dataset, item_indices=np.array([0, 1]))
+        assert len(subset) == 1
+        assert subset[0].label == (0, 1)
+
+    def test_build_exchange_hyperplanes_requires_md(self, paper_2d_dataset):
+        with pytest.raises(GeometryError):
+            build_exchange_hyperplanes(paper_2d_dataset)
+
+    def test_dominated_pairs_are_skipped(self):
+        scores = np.array([[1.0, 1.0, 1.0], [2.0, 2.0, 2.0], [3.0, 1.0, 2.0]])
+        dataset = Dataset(scores=scores, scoring_attributes=["a", "b", "c"])
+        labels = {plane.label for plane in build_exchange_hyperplanes(dataset)}
+        assert (0, 1) not in labels  # item 1 dominates item 0
+        assert (1, 2) in labels

@@ -1,0 +1,133 @@
+"""Tests for the extension experiments and the figure-artifact generator."""
+
+from __future__ import annotations
+
+import csv
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.extensions import (
+    BaselineComparison,
+    experiment_ablation_grid_resolution,
+    experiment_ablation_partition,
+    experiment_baseline_comparison,
+)
+from repro.experiments.figures import (
+    FIGURE_GENERATORS,
+    figure_fig16_sweep,
+    figure_fig21_sweep,
+    generate_figures,
+)
+
+
+@pytest.mark.slow
+class TestGridResolutionAblation:
+    def test_bound_shrinks_and_answers_stay_valid(self):
+        sweep = experiment_ablation_grid_resolution(
+            n_cells_values=(8, 64), n_items=60, d=3, n_queries=8, max_hyperplanes=40
+        )
+        bounds = sweep.series["theorem6_bound"].ys
+        cells = sweep.series["theorem6_bound"].xs
+        assert cells == sorted(cells)
+        # The Theorem 6 guarantee tightens as the grid gets finer.
+        assert bounds[-1] <= bounds[0]
+        fractions = sweep.series["marked_cell_fraction"].ys
+        assert all(0.0 <= fraction <= 1.0 for fraction in fractions)
+        times = sweep.series["preprocess_seconds"].ys
+        assert all(value >= 0.0 for value in times)
+
+
+@pytest.mark.slow
+class TestPartitionAblation:
+    def test_both_backends_produce_valid_indexes(self):
+        sweep = experiment_ablation_partition(
+            n_items=60, d=3, n_cells=64, n_queries=6, max_hyperplanes=40
+        )
+        realised = sweep.series["realised_cells"].ys
+        assert len(realised) == 2
+        assert all(count >= 1 for count in realised)
+        diameters = sweep.series["cell_diameter_bound"].ys
+        assert all(value > 0 for value in diameters)
+        distances = sweep.series["mean_suggestion_distance"].ys
+        assert all(value >= 0.0 for value in distances)
+
+
+@pytest.mark.slow
+class TestBaselineComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return experiment_baseline_comparison(
+            n_items=150, d=3, k=0.25, n_cells=64, max_hyperplanes=60
+        )
+
+    def test_returns_all_four_methods(self, rows):
+        assert [row.method for row in rows] == [
+            "query",
+            "designer",
+            "greedy_rerank",
+            "constrained_topk",
+        ]
+
+    def test_every_intervention_satisfies_the_constraint(self, rows):
+        for row in rows[1:]:
+            assert row.satisfies_constraint
+
+    def test_only_weight_design_stays_linear(self, rows):
+        by_method = {row.method: row for row in rows}
+        assert by_method["query"].is_linear
+        assert by_method["designer"].is_linear
+        assert not by_method["greedy_rerank"].is_linear
+        assert not by_method["constrained_topk"].is_linear
+
+    def test_utilities_are_normalised(self, rows):
+        by_method = {row.method: row for row in rows}
+        assert by_method["query"].utility == pytest.approx(1.0)
+        for row in rows[1:]:
+            assert 0.0 < row.utility <= 1.0 + 1e-9
+
+    def test_distance_only_defined_for_weight_vectors(self, rows):
+        by_method = {row.method: row for row in rows}
+        assert by_method["designer"].angular_distance_to_query >= 0.0
+        assert math.isnan(by_method["greedy_rerank"].angular_distance_to_query)
+        assert isinstance(rows[0], BaselineComparison)
+
+
+class TestFigureGenerators:
+    def test_registry_entries_are_callable(self):
+        assert len(FIGURE_GENERATORS) >= 8
+        for name, (generator, log_y) in FIGURE_GENERATORS.items():
+            assert callable(generator)
+            assert isinstance(log_y, bool)
+            assert name.startswith("fig")
+
+    def test_fig16_sweep_is_cumulative(self):
+        sweep = figure_fig16_sweep(
+            thresholds=(0.2, 0.4, 0.6),
+            n_items=60,
+            n_queries=20,
+            n_cells=64,
+            max_hyperplanes=40,
+        )
+        counts = sweep.series["repairs_within_threshold"].ys
+        assert counts == sorted(counts)
+
+    def test_fig21_sweep_is_sorted(self):
+        sweep = figure_fig21_sweep(n_items=30, d=3, n_cells=64, max_hyperplanes=60)
+        counts = sweep.series["hyperplanes_through_cell"].ys
+        assert counts == sorted(counts)
+
+    def test_generate_figures_rejects_unknown_names(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            generate_figures(tmp_path, names=["not_a_figure"])
+
+    @pytest.mark.slow
+    def test_generate_selected_figures_writes_artifacts(self, tmp_path):
+        written = generate_figures(tmp_path, names=["fig19_region_growth"])
+        csv_path, txt_path = written["fig19_region_growth"]
+        assert csv_path.exists() and txt_path.exists()
+        with open(csv_path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "hyperplanes"
+        assert len(rows) > 1

@@ -1,0 +1,315 @@
+"""Tests for fairness oracles, composites, measures and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.exceptions import NoSatisfactoryFunctionError, OracleError
+from repro.fairness.baselines import constrained_topk, greedy_fair_rerank
+from repro.fairness.composite import AndOracle, NotOracle, OrOracle
+from repro.fairness.measures import (
+    exposure_ratio,
+    group_share_at_k,
+    rkl_measure,
+    rnd_measure,
+    selection_rate_ratio,
+)
+from repro.fairness.multi_attribute import MultiAttributeOracle
+from repro.fairness.oracle import CallableOracle, CountingOracle
+from repro.fairness.proportional import ProportionalOracle, TopKGroupBoundOracle
+from repro.ranking.scoring import LinearScoringFunction
+
+
+@pytest.fixture
+def group_dataset() -> Dataset:
+    """Ten items; the five highest scorers on attribute a are all group 'p'."""
+    scores = np.array(
+        [
+            [10.0, 1.0],
+            [9.0, 2.0],
+            [8.0, 3.0],
+            [7.0, 4.0],
+            [6.0, 5.0],
+            [5.0, 6.0],
+            [4.0, 7.0],
+            [3.0, 8.0],
+            [2.0, 9.0],
+            [1.0, 10.0],
+        ]
+    )
+    groups = np.array(["p", "p", "p", "p", "p", "q", "q", "q", "q", "q"])
+    sexes = np.array(["m", "m", "f", "m", "m", "f", "f", "m", "f", "f"])
+    return Dataset(
+        scores=scores,
+        scoring_attributes=["a", "b"],
+        types={"g": groups, "sex": sexes},
+    )
+
+
+def descending_a(dataset: Dataset) -> np.ndarray:
+    return LinearScoringFunction((1.0, 0.0)).order(dataset)
+
+
+def descending_b(dataset: Dataset) -> np.ndarray:
+    return LinearScoringFunction((0.0, 1.0)).order(dataset)
+
+
+class TestProportionalOracle:
+    def test_max_fraction_violated(self, group_dataset):
+        oracle = ProportionalOracle("g", "p", k=4, max_fraction=0.5)
+        assert not oracle.is_satisfactory(descending_a(group_dataset), group_dataset)
+
+    def test_max_fraction_satisfied(self, group_dataset):
+        oracle = ProportionalOracle("g", "p", k=4, max_fraction=0.5)
+        ordering = np.array([0, 5, 1, 6, 2, 7, 3, 8, 4, 9])
+        assert oracle.is_satisfactory(ordering, group_dataset)
+
+    def test_min_fraction(self, group_dataset):
+        oracle = ProportionalOracle("g", "q", k=4, min_fraction=0.25)
+        assert not oracle.is_satisfactory(descending_a(group_dataset), group_dataset)
+        assert oracle.is_satisfactory(descending_b(group_dataset), group_dataset)
+
+    def test_fractional_k(self, group_dataset):
+        oracle = ProportionalOracle("g", "p", k=0.4, max_fraction=0.5)
+        assert not oracle.is_satisfactory(descending_a(group_dataset), group_dataset)
+
+    def test_both_bounds(self, group_dataset):
+        oracle = ProportionalOracle("g", "p", k=4, min_fraction=0.25, max_fraction=0.75)
+        ordering = np.array([0, 5, 1, 6, 2, 7, 3, 8, 4, 9])
+        assert oracle.is_satisfactory(ordering, group_dataset)
+
+    def test_requires_some_bound(self):
+        with pytest.raises(OracleError):
+            ProportionalOracle("g", "p", k=4)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(OracleError):
+            ProportionalOracle("g", "p", k=4, min_fraction=0.8, max_fraction=0.2)
+
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(OracleError):
+            ProportionalOracle("g", "p", k=4, max_fraction=1.2)
+
+    def test_share_plus_slack_constructor(self, group_dataset):
+        oracle = ProportionalOracle.at_most_share_plus_slack(
+            group_dataset, "g", "p", k=4, slack=0.10
+        )
+        assert oracle.max_fraction == pytest.approx(0.60)
+
+    def test_share_minus_slack_constructor(self, group_dataset):
+        oracle = ProportionalOracle.at_least_share_minus_slack(
+            group_dataset, "g", "q", k=4, slack=0.10
+        )
+        assert oracle.min_fraction == pytest.approx(0.40)
+
+    def test_describe_mentions_attribute(self):
+        oracle = ProportionalOracle("g", "p", k=4, max_fraction=0.5)
+        assert "g" in oracle.describe()
+
+    def test_evaluate_function(self, group_dataset):
+        oracle = ProportionalOracle("g", "p", k=4, max_fraction=0.5)
+        assert not oracle.evaluate_function(LinearScoringFunction((1.0, 0.0)), group_dataset)
+        assert oracle.evaluate_function(LinearScoringFunction((0.0, 1.0)), group_dataset)
+
+
+class TestTopKGroupBoundOracle:
+    def test_max_count(self, group_dataset):
+        oracle = TopKGroupBoundOracle("g", "p", k=4, max_count=2)
+        assert not oracle.is_satisfactory(descending_a(group_dataset), group_dataset)
+        assert oracle.is_satisfactory(descending_b(group_dataset), group_dataset)
+
+    def test_min_count(self, group_dataset):
+        oracle = TopKGroupBoundOracle("g", "p", k=4, min_count=1)
+        assert oracle.is_satisfactory(descending_a(group_dataset), group_dataset)
+        assert not oracle.is_satisfactory(descending_b(group_dataset), group_dataset)
+
+    def test_validation(self):
+        with pytest.raises(OracleError):
+            TopKGroupBoundOracle("g", "p", k=4)
+        with pytest.raises(OracleError):
+            TopKGroupBoundOracle("g", "p", k=4, min_count=5, max_count=2)
+        with pytest.raises(OracleError):
+            TopKGroupBoundOracle("g", "p", k=4, max_count=-1)
+
+
+class TestCompositesAndWrappers:
+    def test_and_oracle(self, group_dataset):
+        both = AndOracle(
+            [
+                TopKGroupBoundOracle("g", "p", k=4, max_count=3),
+                TopKGroupBoundOracle("sex", "m", k=4, max_count=3),
+            ]
+        )
+        assert not both.is_satisfactory(descending_a(group_dataset), group_dataset)
+        assert both.is_satisfactory(descending_b(group_dataset), group_dataset)
+
+    def test_or_oracle(self, group_dataset):
+        either = OrOracle(
+            [
+                TopKGroupBoundOracle("g", "p", k=4, max_count=0),
+                TopKGroupBoundOracle("g", "p", k=4, min_count=4),
+            ]
+        )
+        assert either.is_satisfactory(descending_a(group_dataset), group_dataset)
+        assert not either.is_satisfactory(
+            np.array([0, 5, 6, 7, 1, 2, 3, 4, 8, 9]), group_dataset
+        )
+
+    def test_not_oracle(self, group_dataset):
+        oracle = TopKGroupBoundOracle("g", "p", k=4, max_count=2)
+        negated = NotOracle(oracle)
+        ordering = descending_a(group_dataset)
+        assert oracle.is_satisfactory(ordering, group_dataset) != negated.is_satisfactory(
+            ordering, group_dataset
+        )
+
+    def test_composites_validate_children(self):
+        with pytest.raises(OracleError):
+            AndOracle([])
+        with pytest.raises(OracleError):
+            OrOracle([lambda ordering, dataset: True])
+        with pytest.raises(OracleError):
+            NotOracle("not an oracle")
+
+    def test_callable_oracle(self, group_dataset):
+        oracle = CallableOracle(lambda ordering, dataset: bool(ordering[0] == 0), "first is item 0")
+        assert oracle.is_satisfactory(descending_a(group_dataset), group_dataset)
+        assert not oracle.is_satisfactory(descending_b(group_dataset), group_dataset)
+        assert oracle.describe() == "first is item 0"
+
+    def test_callable_oracle_must_return_bool(self, group_dataset):
+        oracle = CallableOracle(lambda ordering, dataset: "yes")
+        with pytest.raises(OracleError):
+            oracle.is_satisfactory(descending_a(group_dataset), group_dataset)
+
+    def test_counting_oracle(self, group_dataset):
+        inner = TopKGroupBoundOracle("g", "p", k=4, max_count=2)
+        counting = CountingOracle(inner)
+        ordering = descending_a(group_dataset)
+        counting.is_satisfactory(ordering, group_dataset)
+        counting.is_satisfactory(ordering, group_dataset)
+        assert counting.calls == 2
+        counting.reset()
+        assert counting.calls == 0
+
+    def test_multi_attribute_oracle_from_triples(self, group_dataset):
+        oracle = MultiAttributeOracle([("g", "p", 3), ("sex", "m", 3)], k=4)
+        assert not oracle.is_satisfactory(descending_a(group_dataset), group_dataset)
+        assert oracle.is_satisfactory(descending_b(group_dataset), group_dataset)
+
+    def test_multi_attribute_from_dataset_shares(self, group_dataset):
+        oracle = MultiAttributeOracle.from_dataset_shares(
+            group_dataset, {"g": ["p"], "sex": ["m"]}, k=4, slack=0.10
+        )
+        assert len(oracle.children) == 2
+        assert not oracle.is_satisfactory(descending_a(group_dataset), group_dataset)
+
+    def test_multi_attribute_requires_k_for_triples(self):
+        with pytest.raises(OracleError):
+            MultiAttributeOracle([("g", "p", 3)])
+
+    def test_multi_attribute_rejects_garbage(self):
+        with pytest.raises(OracleError):
+            MultiAttributeOracle(["nonsense"], k=4)
+
+
+class TestMeasures:
+    def test_group_share(self, group_dataset):
+        share = group_share_at_k(group_dataset, descending_a(group_dataset), "g", "p", 4)
+        assert share == pytest.approx(1.0)
+
+    def test_selection_rate_ratio_extremes(self, group_dataset):
+        ratio = selection_rate_ratio(group_dataset, descending_a(group_dataset), "g", "q", 5)
+        assert ratio == pytest.approx(0.0)
+        ratio_fair = selection_rate_ratio(
+            group_dataset, np.array([0, 5, 1, 6, 2, 7, 3, 8, 4, 9]), "g", "q", 4
+        )
+        assert ratio_fair == pytest.approx(1.0)
+
+    def test_selection_rate_ratio_requires_two_groups(self, group_dataset):
+        with pytest.raises(OracleError):
+            selection_rate_ratio(group_dataset, descending_a(group_dataset), "g", "missing", 4)
+
+    def test_rnd_zero_for_proportional_ranking(self, group_dataset):
+        interleaved = np.array([0, 5, 1, 6, 2, 7, 3, 8, 4, 9])
+        assert rnd_measure(group_dataset, interleaved, "g", "p", step=2) == pytest.approx(
+            0.0, abs=0.15
+        )
+
+    def test_rnd_larger_for_segregated_ranking(self, group_dataset):
+        segregated = descending_a(group_dataset)
+        interleaved = np.array([0, 5, 1, 6, 2, 7, 3, 8, 4, 9])
+        assert rnd_measure(group_dataset, segregated, "g", "p", step=2) > rnd_measure(
+            group_dataset, interleaved, "g", "p", step=2
+        )
+
+    def test_rnd_bounded(self, group_dataset):
+        value = rnd_measure(group_dataset, descending_a(group_dataset), "g", "p", step=2)
+        assert 0.0 <= value <= 1.0
+
+    def test_rkl_ranks_orderings_consistently(self, group_dataset):
+        segregated = descending_a(group_dataset)
+        interleaved = np.array([0, 5, 1, 6, 2, 7, 3, 8, 4, 9])
+        assert rkl_measure(group_dataset, segregated, "g", step=2) > rkl_measure(
+            group_dataset, interleaved, "g", step=2
+        )
+
+    def test_exposure_ratio_favors_top_group(self, group_dataset):
+        ratio = exposure_ratio(group_dataset, descending_a(group_dataset), "g", "p")
+        assert ratio > 1.0
+
+    def test_exposure_ratio_requires_two_groups(self, group_dataset):
+        with pytest.raises(OracleError):
+            exposure_ratio(group_dataset, descending_a(group_dataset), "g", "missing")
+
+
+class TestBaselines:
+    def test_greedy_rerank_meets_prefix_constraint(self, group_dataset):
+        ordering = descending_a(group_dataset)
+        reranked = greedy_fair_rerank(group_dataset, ordering, "g", "q", k=6, min_protected_fraction=0.5)
+        groups = group_dataset.type_column("g")
+        for prefix in range(1, 7):
+            count = int(np.sum(groups[reranked[:prefix]] == "q"))
+            assert count >= int(np.ceil(0.5 * prefix - 1e-9))
+
+    def test_greedy_rerank_is_a_permutation(self, group_dataset):
+        ordering = descending_a(group_dataset)
+        reranked = greedy_fair_rerank(group_dataset, ordering, "g", "q", k=4, min_protected_fraction=0.5)
+        assert sorted(reranked.tolist()) == list(range(10))
+
+    def test_greedy_rerank_impossible_constraint(self, group_dataset):
+        with pytest.raises(NoSatisfactoryFunctionError):
+            greedy_fair_rerank(
+                group_dataset, descending_a(group_dataset), "sex", "f", k=10, min_protected_fraction=0.9
+            )
+
+    def test_greedy_rerank_validates_fraction(self, group_dataset):
+        with pytest.raises(OracleError):
+            greedy_fair_rerank(
+                group_dataset, descending_a(group_dataset), "g", "q", k=4, min_protected_fraction=1.5
+            )
+
+    def test_constrained_topk_respects_bounds(self, group_dataset):
+        scores = group_dataset.scores[:, 0]
+        selected = constrained_topk(group_dataset, scores, k=4, max_counts={("g", "p"): 2})
+        groups = group_dataset.type_column("g")
+        assert int(np.sum(groups[selected] == "p")) <= 2
+        assert len(selected) == 4
+
+    def test_constrained_topk_prefers_high_scores(self, group_dataset):
+        scores = group_dataset.scores[:, 0]
+        selected = constrained_topk(group_dataset, scores, k=4, max_counts={("g", "p"): 2})
+        assert 0 in selected and 1 in selected  # two best protected items kept
+
+    def test_constrained_topk_infeasible(self, group_dataset):
+        scores = group_dataset.scores[:, 0]
+        with pytest.raises(NoSatisfactoryFunctionError):
+            constrained_topk(
+                group_dataset, scores, k=8, max_counts={("g", "p"): 1, ("g", "q"): 1}
+            )
+
+    def test_constrained_topk_validates_scores(self, group_dataset):
+        with pytest.raises(OracleError):
+            constrained_topk(group_dataset, np.array([1.0, 2.0]), k=2, max_counts={})

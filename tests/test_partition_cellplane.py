@@ -1,0 +1,193 @@
+"""Tests for angle-space partitions and the CELLPLANE× cell-hyperplane assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import ConfigurationError, GeometryError
+from repro.geometry.angles import HALF_PI, angular_distance_angles
+from repro.geometry.cellplane import assign_hyperplanes_to_cells, hyperplanes_through_cell
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.partition import (
+    AnglePartition,
+    UniformGridPartition,
+    cell_gamma,
+    theorem6_bound,
+)
+
+
+def angle_points(dimension: int):
+    return arrays(
+        float, dimension, elements=st.floats(0.0, HALF_PI, allow_nan=False)
+    )
+
+
+class TestGammaAndBound:
+    def test_gamma_decreases_with_more_cells(self):
+        assert cell_gamma(1000, 3) < cell_gamma(100, 3)
+
+    def test_bound_decreases_with_more_cells(self):
+        assert theorem6_bound(10_000, 3) < theorem6_bound(100, 3)
+
+    def test_bound_is_positive(self):
+        assert theorem6_bound(1024, 4) > 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            cell_gamma(0, 3)
+        with pytest.raises(ConfigurationError):
+            theorem6_bound(10, 1)
+
+
+class TestUniformGridPartition:
+    def test_cell_count_reaches_target(self):
+        partition = UniformGridPartition(2, 100)
+        assert partition.n_cells >= 100
+
+    def test_cells_tile_the_box(self):
+        partition = UniformGridPartition(2, 16)
+        total_area = sum(np.prod(cell.coordinate_extents()) for cell in partition.cells())
+        assert total_area == pytest.approx(HALF_PI**2, rel=1e-9)
+
+    def test_locate_returns_containing_cell(self):
+        partition = UniformGridPartition(3, 64)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            point = rng.uniform(0, HALF_PI, size=3)
+            cell = partition.cell(partition.locate(point))
+            assert cell.contains(point)
+
+    def test_locate_handles_boundary(self):
+        partition = UniformGridPartition(2, 16)
+        top = np.array([HALF_PI, HALF_PI])
+        cell = partition.cell(partition.locate(top))
+        assert cell.contains(top)
+
+    def test_locate_rejects_out_of_box(self):
+        partition = UniformGridPartition(2, 16)
+        with pytest.raises(GeometryError):
+            partition.locate(np.array([-0.5, 0.1]))
+
+    def test_neighbors_are_adjacent(self):
+        partition = UniformGridPartition(2, 16)
+        for index in range(partition.n_cells):
+            cell = partition.cell(index)
+            for neighbor_index in partition.neighbors(index):
+                neighbor = partition.cell(neighbor_index)
+                gap = np.maximum(
+                    np.asarray(cell.low) - np.asarray(neighbor.high),
+                    np.asarray(neighbor.low) - np.asarray(cell.high),
+                )
+                assert np.all(gap <= 1e-12)
+
+    def test_corner_cell_has_fewer_neighbors(self):
+        partition = UniformGridPartition(2, 16)
+        corner = partition.locate(np.array([0.0, 0.0]))
+        middle = partition.locate(np.array([HALF_PI / 2, HALF_PI / 2]))
+        assert len(partition.neighbors(corner)) < len(partition.neighbors(middle))
+
+    @given(angle_points(2))
+    @settings(max_examples=60, deadline=None)
+    def test_cell_diameter_bound_holds(self, point):
+        partition = UniformGridPartition(2, 64)
+        cell = partition.cell(partition.locate(point))
+        center = cell.center()
+        if not np.any(center > 0) or not np.any(point > 0):
+            return
+        assert angular_distance_angles(point, center) <= partition.max_cell_diameter() + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            UniformGridPartition(0, 10)
+        with pytest.raises(ConfigurationError):
+            UniformGridPartition(2, 0)
+
+
+class TestAnglePartition:
+    def test_cells_cover_random_points(self):
+        partition = AnglePartition(2, 200)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            point = rng.uniform(0, HALF_PI, size=2)
+            cell = partition.cell(partition.locate(point))
+            assert cell.contains(point)
+
+    def test_adaptive_rows_are_wider_near_the_pole(self):
+        """Cells whose prefix angle is near 0 (small sin) get wider second-axis ranges."""
+        partition = AnglePartition(2, 400)
+        cells = partition.cells()
+        near_pole = [c for c in cells if c.low[0] == 0.0]
+        far_from_pole = [c for c in cells if c.high[0] == pytest.approx(HALF_PI)]
+        mean_width_near = np.mean([c.coordinate_extents()[1] for c in near_pole])
+        mean_width_far = np.mean([c.coordinate_extents()[1] for c in far_from_pole])
+        assert mean_width_near >= mean_width_far
+
+    def test_diameter_bound(self):
+        partition = AnglePartition(2, 300)
+        rng = np.random.default_rng(2)
+        bound = partition.max_cell_diameter()
+        for _ in range(30):
+            point = rng.uniform(1e-3, HALF_PI, size=2)
+            cell = partition.cell(partition.locate(point))
+            center = np.clip(cell.center(), 1e-9, HALF_PI)
+            assert angular_distance_angles(point, center) <= bound + 1e-6
+
+    def test_neighbors_touch(self):
+        partition = AnglePartition(2, 60)
+        index = partition.locate(np.array([0.7, 0.7]))
+        cell = partition.cell(index)
+        for neighbor_index in partition.neighbors(index):
+            neighbor = partition.cell(neighbor_index)
+            gap = np.maximum(
+                np.asarray(cell.low) - np.asarray(neighbor.high),
+                np.asarray(neighbor.low) - np.asarray(cell.high),
+            )
+            assert np.all(gap <= 1e-9)
+
+    def test_cell_index_out_of_range(self):
+        partition = AnglePartition(2, 50)
+        with pytest.raises(GeometryError):
+            partition.cell(partition.n_cells + 5)
+
+
+class TestCellPlaneAssignment:
+    def test_matches_bruteforce_reference(self):
+        partition = UniformGridPartition(2, 36)
+        rng = np.random.default_rng(3)
+        hyperplanes = [Hyperplane(tuple(rng.uniform(0.5, 3.0, size=2))) for _ in range(10)]
+        index = assign_hyperplanes_to_cells(partition, hyperplanes)
+        for cell in partition.cells():
+            expected = set(hyperplanes_through_cell(cell, hyperplanes))
+            assert set(index.by_cell[cell.index]) == expected
+
+    def test_counts_shape(self):
+        partition = UniformGridPartition(2, 25)
+        hyperplanes = [Hyperplane((1.0, 1.0)), Hyperplane((2.0, 2.0))]
+        index = assign_hyperplanes_to_cells(partition, hyperplanes)
+        counts = index.counts()
+        assert counts.shape == (partition.n_cells,)
+        assert counts.sum() == sum(len(entry) for entry in index.by_cell)
+
+    def test_pruning_does_fewer_tests_than_full_pairwise(self):
+        partition = UniformGridPartition(2, 100)
+        rng = np.random.default_rng(4)
+        hyperplanes = [Hyperplane(tuple(rng.uniform(0.5, 3.0, size=2))) for _ in range(15)]
+        index = assign_hyperplanes_to_cells(partition, hyperplanes)
+        assert index.box_tests < partition.n_cells * len(hyperplanes)
+
+    def test_dimension_mismatch_raises(self):
+        partition = UniformGridPartition(2, 4)
+        with pytest.raises(GeometryError):
+            assign_hyperplanes_to_cells(partition, [Hyperplane((1.0, 1.0, 1.0))])
+
+    def test_works_with_adaptive_partition(self):
+        partition = AnglePartition(2, 40)
+        hyperplanes = [Hyperplane((1.5, 1.5))]
+        index = assign_hyperplanes_to_cells(partition, hyperplanes)
+        for cell in partition.cells():
+            expected = set(hyperplanes_through_cell(cell, hyperplanes))
+            assert set(index.by_cell[cell.index]) == expected

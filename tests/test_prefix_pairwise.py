@@ -1,0 +1,277 @@
+"""Tests for the prefix-fairness oracles and the pairwise fairness measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.exceptions import OracleError
+from repro.fairness.pairwise import (
+    mean_rank_gap,
+    median_rank_gap,
+    pairwise_parity_gap,
+    protected_above_rate,
+    rank_biserial_correlation,
+)
+from repro.fairness.prefix import MinimumAtEveryPrefixOracle, PrefixProportionalOracle
+from repro.fairness.proportional import ProportionalOracle
+
+
+def two_group_dataset(labels: list[str]) -> Dataset:
+    """A dataset whose items score by their index, with the given group labels."""
+    n = len(labels)
+    scores = np.column_stack([np.arange(n, dtype=float) + 1.0, np.ones(n)])
+    return Dataset(scores, ["value", "constant"], types={"group": labels})
+
+
+def identity_ordering(dataset: Dataset) -> np.ndarray:
+    return np.arange(dataset.n_items)
+
+
+# --------------------------------------------------------------------------- #
+# PrefixProportionalOracle
+# --------------------------------------------------------------------------- #
+class TestPrefixProportionalOracle:
+    def test_requires_some_bound(self):
+        with pytest.raises(OracleError):
+            PrefixProportionalOracle("group", "a", k=4)
+
+    def test_rejects_invalid_fractions(self):
+        with pytest.raises(OracleError):
+            PrefixProportionalOracle("group", "a", k=4, min_fraction=-0.1)
+        with pytest.raises(OracleError):
+            PrefixProportionalOracle("group", "a", k=4, max_fraction=1.5)
+        with pytest.raises(OracleError):
+            PrefixProportionalOracle("group", "a", k=4, min_fraction=0.8, max_fraction=0.2)
+
+    def test_min_fraction_violated_by_late_protected_items(self):
+        # Protected items are all at the bottom: the k-prefix constraint could
+        # still pass, but the per-prefix constraint fails early.
+        labels = ["b", "b", "a", "a"]
+        dataset = two_group_dataset(labels)
+        ordering = identity_ordering(dataset)
+        oracle = PrefixProportionalOracle("group", "a", k=4, min_fraction=0.5)
+        assert not oracle.is_satisfactory(ordering, dataset)
+
+    def test_min_fraction_satisfied_by_interleaved_items(self):
+        labels = ["a", "b", "a", "b"]
+        dataset = two_group_dataset(labels)
+        oracle = PrefixProportionalOracle("group", "a", k=4, min_fraction=0.5)
+        assert oracle.is_satisfactory(identity_ordering(dataset), dataset)
+
+    def test_max_fraction_blocks_protected_monopoly_at_top(self):
+        labels = ["a", "a", "b", "b", "b", "b"]
+        dataset = two_group_dataset(labels)
+        oracle = PrefixProportionalOracle("group", "a", k=4, max_fraction=0.5)
+        # Prefix of length 1 and 2 are 100% protected.
+        assert not oracle.is_satisfactory(identity_ordering(dataset), dataset)
+
+    def test_prefix_constraint_implies_topk_constraint(self):
+        # If every prefix satisfies the max bound, then in particular the k
+        # prefix does, so the FM1 oracle with the same bound must also accept.
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            labels = rng.choice(["a", "b"], size=12).tolist()
+            if "a" not in labels or "b" not in labels:
+                continue
+            dataset = two_group_dataset(labels)
+            ordering = rng.permutation(12)
+            prefix_oracle = PrefixProportionalOracle("group", "a", k=6, max_fraction=0.5)
+            fm1_oracle = ProportionalOracle("group", "a", k=6, max_fraction=0.5)
+            if prefix_oracle.is_satisfactory(ordering, dataset):
+                assert fm1_oracle.is_satisfactory(ordering, dataset)
+
+    def test_min_prefix_relaxes_early_prefixes(self):
+        # Protected items arrive late; with the bound enforced from the first
+        # prefix the ordering fails, but skipping the first two prefixes makes
+        # it acceptable.
+        labels = ["b", "b", "a", "a"]
+        dataset = two_group_dataset(labels)
+        ordering = identity_ordering(dataset)
+        strict = PrefixProportionalOracle("group", "a", k=4, min_fraction=0.5)
+        relaxed = PrefixProportionalOracle(
+            "group", "a", k=4, min_fraction=0.5, min_prefix=4
+        )
+        assert not strict.is_satisfactory(ordering, dataset)
+        assert relaxed.is_satisfactory(ordering, dataset)
+
+    def test_min_prefix_must_be_positive(self):
+        with pytest.raises(OracleError):
+            PrefixProportionalOracle("group", "a", k=4, min_fraction=0.5, min_prefix=0)
+
+    def test_describe_mentions_min_prefix(self):
+        oracle = PrefixProportionalOracle(
+            "group", "a", k=10, min_fraction=0.3, min_prefix=5
+        )
+        assert "length >= 5" in oracle.describe()
+
+    def test_matching_dataset_share_constructor(self):
+        labels = ["a"] * 5 + ["b"] * 5
+        dataset = two_group_dataset(labels)
+        oracle = PrefixProportionalOracle.matching_dataset_share(
+            dataset, "group", "a", k=4, slack=0.25
+        )
+        assert oracle.min_fraction == pytest.approx(0.25)
+        assert oracle.max_fraction == pytest.approx(0.75)
+
+    def test_matching_dataset_share_rejects_negative_slack(self):
+        dataset = two_group_dataset(["a", "b"])
+        with pytest.raises(OracleError):
+            PrefixProportionalOracle.matching_dataset_share(
+                dataset, "group", "a", k=2, slack=-0.1
+            )
+
+    def test_describe_mentions_bounds(self):
+        oracle = PrefixProportionalOracle("group", "a", k=4, min_fraction=0.2, max_fraction=0.6)
+        description = oracle.describe()
+        assert "20%" in description and "60%" in description
+
+
+class TestMinimumAtEveryPrefixOracle:
+    def test_rejects_invalid_target(self):
+        with pytest.raises(OracleError):
+            MinimumAtEveryPrefixOracle("group", "a", k=4, target_fraction=1.2)
+
+    def test_minimum_at_matches_ceiling(self):
+        oracle = MinimumAtEveryPrefixOracle("group", "a", k=10, target_fraction=0.3)
+        assert oracle.minimum_at(1) == 1
+        assert oracle.minimum_at(3) == 1
+        assert oracle.minimum_at(4) == 2
+        assert oracle.minimum_at(10) == 3
+
+    def test_minimum_at_rejects_non_positive_prefix(self):
+        oracle = MinimumAtEveryPrefixOracle("group", "a", k=10, target_fraction=0.3)
+        with pytest.raises(OracleError):
+            oracle.minimum_at(0)
+
+    def test_zero_target_accepts_everything(self):
+        labels = ["b"] * 6
+        dataset = Dataset(
+            np.column_stack([np.arange(6.0) + 1, np.ones(6)]),
+            ["value", "constant"],
+            types={"group": labels},
+        )
+        oracle = MinimumAtEveryPrefixOracle("group", "a", k=6, target_fraction=0.0)
+        assert oracle.is_satisfactory(np.arange(6), dataset)
+
+    def test_rejects_when_protected_arrive_too_late(self):
+        labels = ["b", "b", "b", "a", "a", "a"]
+        dataset = two_group_dataset(labels)
+        oracle = MinimumAtEveryPrefixOracle("group", "a", k=6, target_fraction=0.5)
+        assert not oracle.is_satisfactory(identity_ordering(dataset), dataset)
+
+    def test_accepts_alternating_ranking(self):
+        labels = ["a", "b", "a", "b", "a", "b"]
+        dataset = two_group_dataset(labels)
+        oracle = MinimumAtEveryPrefixOracle("group", "a", k=6, target_fraction=0.5)
+        assert oracle.is_satisfactory(identity_ordering(dataset), dataset)
+
+    def test_describe_mentions_target(self):
+        oracle = MinimumAtEveryPrefixOracle("group", "a", k=6, target_fraction=0.5)
+        assert "50%" in oracle.describe()
+
+
+# --------------------------------------------------------------------------- #
+# pairwise measures
+# --------------------------------------------------------------------------- #
+class TestPairwiseMeasures:
+    def test_protected_all_on_top_gives_rate_one(self):
+        labels = ["a", "a", "b", "b"]
+        dataset = two_group_dataset(labels)
+        ordering = identity_ordering(dataset)
+        assert protected_above_rate(dataset, ordering, "group", "a") == pytest.approx(1.0)
+        assert rank_biserial_correlation(dataset, ordering, "group", "a") == pytest.approx(1.0)
+
+    def test_protected_all_on_bottom_gives_rate_zero(self):
+        labels = ["b", "b", "a", "a"]
+        dataset = two_group_dataset(labels)
+        ordering = identity_ordering(dataset)
+        assert protected_above_rate(dataset, ordering, "group", "a") == pytest.approx(0.0)
+        assert rank_biserial_correlation(dataset, ordering, "group", "a") == pytest.approx(-1.0)
+
+    def test_perfect_interleaving_is_near_parity(self):
+        labels = ["a", "b", "a", "b", "a", "b"]
+        dataset = two_group_dataset(labels)
+        ordering = identity_ordering(dataset)
+        rate = protected_above_rate(dataset, ordering, "group", "a")
+        assert 0.4 < rate < 0.8
+        assert pairwise_parity_gap(dataset, ordering, "group", "a") == pytest.approx(
+            abs(rate - 0.5)
+        )
+
+    def test_rate_matches_brute_force_count(self):
+        rng = np.random.default_rng(3)
+        labels = rng.choice(["a", "b"], size=15).tolist()
+        if "a" not in labels:
+            labels[0] = "a"
+        if "b" not in labels:
+            labels[1] = "b"
+        dataset = two_group_dataset(labels)
+        ordering = rng.permutation(15)
+        ranks = np.empty(15, dtype=int)
+        ranks[ordering] = np.arange(15)
+        protected = [i for i in range(15) if labels[i] == "a"]
+        others = [i for i in range(15) if labels[i] == "b"]
+        wins = sum(1 for p in protected for o in others if ranks[p] < ranks[o])
+        expected = wins / (len(protected) * len(others))
+        assert protected_above_rate(dataset, ordering, "group", "a") == pytest.approx(expected)
+
+    def test_mean_and_median_rank_gap_signs(self):
+        labels = ["b", "b", "b", "a", "a", "a"]
+        dataset = two_group_dataset(labels)
+        ordering = identity_ordering(dataset)
+        # Protected items are at the bottom: positive gaps.
+        assert mean_rank_gap(dataset, ordering, "group", "a") > 0
+        assert median_rank_gap(dataset, ordering, "group", "a") > 0
+
+    def test_requires_full_ordering(self):
+        labels = ["a", "b", "a", "b"]
+        dataset = two_group_dataset(labels)
+        with pytest.raises(OracleError):
+            protected_above_rate(dataset, np.array([0, 1]), "group", "a")
+
+    def test_requires_both_groups_present(self):
+        labels = ["a", "a", "a"]
+        dataset = two_group_dataset(labels)
+        with pytest.raises(OracleError):
+            protected_above_rate(dataset, np.arange(3), "group", "a")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        labels=st.lists(st.sampled_from(["a", "b"]), min_size=4, max_size=24).filter(
+            lambda values: "a" in values and "b" in values
+        ),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_rate_in_unit_interval_and_reversal_flips(self, labels, seed):
+        dataset = two_group_dataset(labels)
+        rng = np.random.default_rng(seed)
+        ordering = rng.permutation(len(labels))
+        rate = protected_above_rate(dataset, ordering, "group", "a")
+        assert 0.0 <= rate <= 1.0
+        reversed_rate = protected_above_rate(dataset, ordering[::-1], "group", "a")
+        assert rate + reversed_rate == pytest.approx(1.0)
+        # Rank-biserial is the affine image of the rate.
+        assert rank_biserial_correlation(dataset, ordering, "group", "a") == pytest.approx(
+            2 * rate - 1
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        labels=st.lists(st.sampled_from(["a", "b"]), min_size=4, max_size=24).filter(
+            lambda values: "a" in values and "b" in values
+        ),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_mean_gap_bounded_and_antisymmetric(self, labels, seed):
+        dataset = two_group_dataset(labels)
+        rng = np.random.default_rng(seed)
+        ordering = rng.permutation(len(labels))
+        gap_protected = mean_rank_gap(dataset, ordering, "group", "a")
+        gap_other = mean_rank_gap(dataset, ordering, "group", "b")
+        assert -1.0 <= gap_protected <= 1.0
+        # Swapping the roles of the two groups flips the sign of the gap.
+        assert gap_protected == pytest.approx(-gap_other)

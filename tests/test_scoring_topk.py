@@ -1,0 +1,207 @@
+"""Tests for linear scoring functions, top-k helpers and query generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError, DatasetError, ScoringFunctionError
+from repro.ranking.queries import perturbed_queries, random_queries, simplex_grid_queries
+from repro.ranking.scoring import LinearScoringFunction, random_scoring_function
+from repro.ranking.topk import (
+    group_counts_at_k,
+    group_fraction_at_k,
+    kendall_tau_distance,
+    ordering_is_valid,
+    resolve_k,
+)
+
+
+@pytest.fixture
+def tiny_dataset() -> Dataset:
+    scores = np.array([[3.0, 1.0], [2.0, 2.0], [1.0, 3.0], [0.5, 0.5]])
+    return Dataset(
+        scores=scores,
+        scoring_attributes=["a", "b"],
+        types={"g": np.array(["x", "y", "x", "y"])},
+    )
+
+
+class TestLinearScoringFunction:
+    def test_score_and_order(self, tiny_dataset):
+        function = LinearScoringFunction((1.0, 0.0))
+        assert np.allclose(function.score(tiny_dataset), [3.0, 2.0, 1.0, 0.5])
+        assert list(function.order(tiny_dataset)) == [0, 1, 2, 3]
+
+    def test_order_is_descending_with_stable_ties(self):
+        scores = np.array([[1.0, 1.0], [2.0, 0.0], [0.0, 2.0]])
+        dataset = Dataset(scores=scores, scoring_attributes=["a", "b"])
+        ordering = LinearScoringFunction((1.0, 1.0)).order(dataset)
+        # All three items score 2; ties break by item index.
+        assert list(ordering) == [0, 1, 2]
+
+    def test_top_k(self, tiny_dataset):
+        function = LinearScoringFunction((0.0, 1.0))
+        assert list(function.top_k(tiny_dataset, 2)) == [2, 1]
+
+    def test_top_k_caps_at_dataset_size(self, tiny_dataset):
+        function = LinearScoringFunction((1.0, 1.0))
+        assert len(function.top_k(tiny_dataset, 100)) == 4
+
+    def test_top_k_requires_positive_k(self, tiny_dataset):
+        with pytest.raises(ScoringFunctionError):
+            LinearScoringFunction((1.0, 1.0)).top_k(tiny_dataset, 0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ScoringFunctionError):
+            LinearScoringFunction((0.5, -0.5))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ScoringFunctionError):
+            LinearScoringFunction((0.0, 0.0))
+
+    def test_rejects_single_weight(self):
+        with pytest.raises(ScoringFunctionError):
+            LinearScoringFunction((1.0,))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ScoringFunctionError):
+            LinearScoringFunction((float("nan"), 1.0))
+
+    def test_dimension_mismatch(self, tiny_dataset):
+        with pytest.raises(ScoringFunctionError):
+            LinearScoringFunction((1.0, 1.0, 1.0)).score(tiny_dataset)
+
+    def test_score_item(self):
+        assert LinearScoringFunction((0.5, 0.5)).score_item([2.0, 4.0]) == pytest.approx(3.0)
+
+    def test_uniform_constructor(self):
+        function = LinearScoringFunction.uniform(4)
+        assert np.allclose(function.as_array(), 0.25)
+
+    def test_angles_round_trip(self):
+        function = LinearScoringFunction((0.3, 0.5, 0.2))
+        rebuilt = LinearScoringFunction.from_angles(function.to_angles())
+        assert function.same_ray(rebuilt, tolerance=1e-9)
+
+    def test_same_ray_is_scale_invariant(self):
+        assert LinearScoringFunction((1.0, 2.0)).same_ray(LinearScoringFunction((2.0, 4.0)))
+
+    def test_normalized_has_unit_norm(self):
+        assert np.linalg.norm(
+            LinearScoringFunction((3.0, 4.0)).normalized().as_array()
+        ) == pytest.approx(1.0)
+
+    @given(
+        arrays(float, 3, elements=st.floats(0.0, 5.0, allow_nan=False)).filter(
+            lambda w: np.any(w > 1e-6)
+        ),
+        st.floats(0.1, 10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scaling_preserves_ordering(self, weights, factor):
+        """Positive scalings of the weight vector induce the same ordering (paper §2)."""
+        rng = np.random.default_rng(0)
+        dataset = Dataset(scores=rng.random((12, 3)), scoring_attributes=["a", "b", "c"])
+        base = LinearScoringFunction(tuple(weights))
+        scaled = LinearScoringFunction(tuple(np.asarray(weights) * factor))
+        assert np.array_equal(base.order(dataset), scaled.order(dataset))
+        assert base.angular_distance_to(scaled) == pytest.approx(0.0, abs=1e-7)
+
+
+class TestTopKHelpers:
+    def test_resolve_k_fraction(self, tiny_dataset):
+        assert resolve_k(tiny_dataset, 0.5) == 2
+
+    def test_resolve_k_count(self, tiny_dataset):
+        assert resolve_k(tiny_dataset, 3) == 3
+
+    def test_resolve_k_clamps_to_dataset(self, tiny_dataset):
+        assert resolve_k(tiny_dataset, 100) == 4
+
+    def test_resolve_k_rejects_invalid(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            resolve_k(tiny_dataset, 0)
+        with pytest.raises(DatasetError):
+            resolve_k(tiny_dataset, 1.5)
+        with pytest.raises(DatasetError):
+            resolve_k(tiny_dataset, True)
+
+    def test_group_counts(self, tiny_dataset):
+        ordering = np.array([0, 1, 2, 3])
+        counts = group_counts_at_k(tiny_dataset, ordering, "g", 2)
+        assert counts == {"x": 1, "y": 1}
+
+    def test_group_counts_k_out_of_range(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            group_counts_at_k(tiny_dataset, np.array([0, 1, 2, 3]), "g", 9)
+
+    def test_group_fraction(self, tiny_dataset):
+        ordering = np.array([0, 2, 1, 3])
+        assert group_fraction_at_k(tiny_dataset, ordering, "g", "x", 2) == pytest.approx(1.0)
+
+    def test_ordering_is_valid(self):
+        assert ordering_is_valid(np.array([2, 0, 1]), 3)
+        assert not ordering_is_valid(np.array([0, 0, 1]), 3)
+        assert not ordering_is_valid(np.array([0, 1]), 3)
+
+    def test_kendall_tau_identity(self):
+        assert kendall_tau_distance(np.array([0, 1, 2]), np.array([0, 1, 2])) == 0
+
+    def test_kendall_tau_adjacent_swap(self):
+        assert kendall_tau_distance(np.array([0, 1, 2]), np.array([1, 0, 2])) == 1
+
+    def test_kendall_tau_reversal(self):
+        assert kendall_tau_distance(np.array([0, 1, 2, 3]), np.array([3, 2, 1, 0])) == 6
+
+    def test_kendall_tau_length_mismatch(self):
+        with pytest.raises(DatasetError):
+            kendall_tau_distance(np.array([0, 1]), np.array([0, 1, 2]))
+
+
+class TestQueryGenerators:
+    def test_random_queries_count_and_dimension(self):
+        queries = random_queries(4, 7, seed=0)
+        assert len(queries) == 7
+        assert all(query.dimension == 4 for query in queries)
+
+    def test_random_queries_reproducible(self):
+        first = random_queries(3, 5, seed=1)
+        second = random_queries(3, 5, seed=1)
+        assert all(a.weights == b.weights for a, b in zip(first, second))
+
+    def test_random_queries_requires_positive_count(self):
+        with pytest.raises(ConfigurationError):
+            random_queries(3, 0)
+
+    def test_random_scoring_function_unit_norm(self):
+        function = random_scoring_function(5, np.random.default_rng(0))
+        assert np.linalg.norm(function.as_array()) == pytest.approx(1.0)
+
+    def test_perturbed_queries_stay_near_base(self):
+        base = LinearScoringFunction((0.5, 0.5))
+        queries = perturbed_queries(base, 10, scale=0.05, seed=0)
+        assert all(query.angular_distance_to(base) < 0.5 for query in queries)
+
+    def test_perturbed_queries_validation(self):
+        base = LinearScoringFunction((0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            perturbed_queries(base, 0)
+        with pytest.raises(ConfigurationError):
+            perturbed_queries(base, 5, scale=-1.0)
+
+    def test_simplex_grid_queries(self):
+        queries = simplex_grid_queries(2, 4)
+        assert len(queries) == 5  # (0,4), (1,3), ..., (4,0)
+        sums = {sum(query.weights) for query in queries}
+        assert all(value == pytest.approx(1.0) for value in sums)
+
+    def test_simplex_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            simplex_grid_queries(1, 3)
+        with pytest.raises(ConfigurationError):
+            simplex_grid_queries(3, 0)

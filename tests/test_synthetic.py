@@ -1,0 +1,133 @@
+"""Tests for the synthetic COMPAS / DOT / admissions generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    COMPAS_SCORING_ATTRIBUTES,
+    DOT_CARRIER_SHARES,
+    DOT_SCORING_ATTRIBUTES,
+    make_admissions_like,
+    make_compas_like,
+    make_correlated_dataset,
+    make_dot_like,
+    make_uniform_dataset,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCompasLike:
+    def test_schema_matches_paper(self):
+        dataset = make_compas_like(n=300, seed=0)
+        assert dataset.n_items == 300
+        assert list(dataset.scoring_attributes) == list(COMPAS_SCORING_ATTRIBUTES)
+        assert set(dataset.type_attributes) == {"sex", "race", "age_binary", "age_bucketized"}
+
+    def test_scores_in_unit_interval(self):
+        dataset = make_compas_like(n=200, seed=1)
+        assert dataset.scores.min() >= 0.0
+        assert dataset.scores.max() <= 1.0
+
+    def test_group_proportions_match_section_6_1(self):
+        dataset = make_compas_like(n=5000, seed=2)
+        sex = dataset.group_proportions("sex")
+        race = dataset.group_proportions("race")
+        assert sex["male"] == pytest.approx(0.80, abs=0.03)
+        assert race["African-American"] == pytest.approx(0.50, abs=0.03)
+        age = dataset.group_proportions("age_binary")
+        assert age["35_or_younger"] == pytest.approx(0.60, abs=0.06)
+
+    def test_reproducible_with_seed(self):
+        first = make_compas_like(n=100, seed=7)
+        second = make_compas_like(n=100, seed=7)
+        assert np.array_equal(first.scores, second.scores)
+        assert np.array_equal(first.type_column("race"), second.type_column("race"))
+
+    def test_different_seeds_differ(self):
+        first = make_compas_like(n=100, seed=1)
+        second = make_compas_like(n=100, seed=2)
+        assert not np.array_equal(first.scores, second.scores)
+
+    def test_disparity_shifts_protected_scores(self):
+        dataset = make_compas_like(n=4000, seed=3, disparity=0.2)
+        race = dataset.type_column("race")
+        column = dataset.column("c_days_from_compas")
+        protected_mean = column[race == "African-American"].mean()
+        other_mean = column[race != "African-American"].mean()
+        assert protected_mean > other_mean
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            make_compas_like(n=0)
+        with pytest.raises(ConfigurationError):
+            make_compas_like(n=10, disparity=0.9)
+
+
+class TestDotLike:
+    def test_schema(self):
+        dataset = make_dot_like(n=1000, seed=0)
+        assert list(dataset.scoring_attributes) == list(DOT_SCORING_ATTRIBUTES)
+        assert dataset.type_attributes == ["carrier"]
+
+    def test_carrier_shares_roughly_match(self):
+        dataset = make_dot_like(n=20000, seed=1)
+        shares = dataset.group_proportions("carrier")
+        for carrier in ("WN", "DL", "AA", "UA"):
+            assert shares[carrier] == pytest.approx(
+                DOT_CARRIER_SHARES[carrier] / sum(DOT_CARRIER_SHARES.values()), abs=0.02
+            )
+
+    def test_scores_in_unit_interval(self):
+        dataset = make_dot_like(n=500, seed=2)
+        assert dataset.scores.min() >= 0.0
+        assert dataset.scores.max() <= 1.0
+
+    def test_requires_positive_n(self):
+        with pytest.raises(ConfigurationError):
+            make_dot_like(n=-5)
+
+
+class TestAdmissionsLike:
+    def test_schema_and_gender_balance(self):
+        dataset = make_admissions_like(n=2000, seed=0)
+        assert list(dataset.scoring_attributes) == ["gpa", "sat"]
+        share = dataset.group_proportions("gender")["female"]
+        assert share == pytest.approx(0.5, abs=0.05)
+
+    def test_sat_gap_between_genders(self):
+        dataset = make_admissions_like(n=5000, seed=1, gap=0.1)
+        gender = dataset.type_column("gender")
+        sat = dataset.column("sat")
+        assert sat[gender == "male"].mean() > sat[gender == "female"].mean()
+
+
+class TestGenericGenerators:
+    def test_uniform_dataset_shape(self):
+        dataset = make_uniform_dataset(n=50, d=4, seed=0)
+        assert dataset.n_items == 50
+        assert dataset.n_attributes == 4
+        assert dataset.type_attributes == ["group"]
+
+    def test_uniform_dataset_custom_groups(self):
+        dataset = make_uniform_dataset(
+            n=300, d=2, seed=0, group_labels=("x", "y", "z"), group_probabilities=(0.2, 0.3, 0.5)
+        )
+        shares = dataset.group_proportions("group")
+        assert shares["z"] == pytest.approx(0.5, abs=0.08)
+
+    def test_uniform_dataset_validates_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            make_uniform_dataset(10, 2, group_probabilities=(0.5, 0.2))
+
+    def test_correlated_dataset_disparity(self):
+        dataset = make_correlated_dataset(n=3000, d=3, seed=0, disparity=0.3)
+        group = dataset.type_column("group")
+        minority_mean = dataset.scores[group == "minority"].mean()
+        majority_mean = dataset.scores[group == "majority"].mean()
+        assert majority_mean - minority_mean > 0.1
+
+    def test_correlated_dataset_validates_share(self):
+        with pytest.raises(ConfigurationError):
+            make_correlated_dataset(10, 2, minority_share=1.5)

@@ -1,0 +1,206 @@
+"""Tests for the ASCII chart rendering and CSV export layer (:mod:`repro.viz`)."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.harness import SweepResult
+from repro.viz import (
+    bar_chart,
+    histogram_chart,
+    line_chart,
+    rows_to_csv,
+    series_to_csv,
+    sparkline,
+    sweep_to_csv,
+    write_figure_artifacts,
+)
+
+
+def simple_sweep() -> SweepResult:
+    sweep = SweepResult(parameter="n")
+    first = sweep.series_named("time")
+    second = sweep.series_named("count")
+    for x, t, c in [(10, 0.1, 5), (20, 0.4, 9), (40, 1.7, 21)]:
+        first.add(x, t)
+        second.add(x, c)
+    return sweep
+
+
+# --------------------------------------------------------------------------- #
+# line charts
+# --------------------------------------------------------------------------- #
+class TestLineChart:
+    def test_contains_title_legend_and_axis_ranges(self):
+        chart = line_chart(
+            [1, 2, 3], {"squares": [1, 4, 9]}, title="growth", x_label="n", y_label="value"
+        )
+        assert "growth" in chart
+        assert "legend: * squares" in chart
+        assert "n: 1 .. 3" in chart
+
+    def test_plot_area_has_requested_size(self):
+        chart = line_chart([0, 1], {"y": [0, 1]}, width=30, height=8)
+        plot_rows = [line for line in chart.splitlines() if line.startswith("|")]
+        assert len(plot_rows) == 8
+        assert all(len(row) == 31 for row in plot_rows)  # "|" + width columns
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = line_chart([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "* a" in chart and "o b" in chart
+
+    def test_log_scale_handles_wide_ranges(self):
+        chart = line_chart([1, 2, 3], {"y": [0.001, 1.0, 1000.0]}, log_y=True)
+        assert "(log)" in chart
+
+    def test_log_scale_clamps_non_positive_values(self):
+        chart = line_chart([1, 2], {"y": [0.0, 10.0]}, log_y=True)
+        assert "|" in chart
+
+    def test_constant_series_is_rendered(self):
+        chart = line_chart([1, 2, 3], {"y": [5.0, 5.0, 5.0]})
+        assert "*" in chart
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2, 3], {"y": [1, 2]})
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1], {"y": [1]})
+
+    def test_rejects_tiny_plot_area(self):
+        with pytest.raises(ConfigurationError):
+            line_chart([1, 2], {"y": [1, 2]}, width=3, height=2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ys=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=2,
+            max_size=30,
+        )
+    )
+    def test_property_every_point_is_drawn_inside_the_grid(self, ys):
+        xs = list(range(len(ys)))
+        chart = line_chart(xs, {"y": ys}, width=40, height=10)
+        plot_rows = [line for line in chart.splitlines() if line.startswith("|")]
+        assert len(plot_rows) == 10
+        assert sum(row.count("*") for row in plot_rows) >= 1
+
+
+# --------------------------------------------------------------------------- #
+# bar charts, histograms and sparklines
+# --------------------------------------------------------------------------- #
+class TestBarsAndHistograms:
+    def test_bar_lengths_are_proportional(self):
+        chart = bar_chart(["small", "large"], [1.0, 2.0], width=40)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 2 * lines[0].count("#")
+
+    def test_zero_values_render_empty_bars(self):
+        chart = bar_chart(["a", "b"], [0.0, 0.0])
+        assert chart.count("#") == 0
+
+    def test_bar_chart_validations(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart([], [])
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [-1.0])
+        with pytest.raises(ConfigurationError):
+            bar_chart(["a"], [1.0], width=2)
+
+    def test_histogram_has_requested_bins(self):
+        chart = histogram_chart([1, 1, 2, 3, 3, 3], bins=3)
+        assert len(chart.splitlines()) == 3
+
+    def test_histogram_validations(self):
+        with pytest.raises(ConfigurationError):
+            histogram_chart([], bins=3)
+        with pytest.raises(ConfigurationError):
+            histogram_chart([1.0], bins=0)
+
+    def test_sparkline_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 2, 1])) == 5
+
+    def test_sparkline_constant_input(self):
+        assert len(set(sparkline([2.0, 2.0, 2.0]))) == 1
+
+    def test_sparkline_rejects_empty_input(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_property_bar_chart_renders_one_line_per_value(self, values):
+        labels = [f"v{i}" for i in range(len(values))]
+        assert len(bar_chart(labels, values).splitlines()) == len(values)
+
+
+# --------------------------------------------------------------------------- #
+# CSV export
+# --------------------------------------------------------------------------- #
+class TestCsvExport:
+    def test_rows_to_csv_round_trip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv(path, ["a", "b"], [[1, 2], [3, 4]])
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_rows_to_csv_rejects_ragged_rows(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            rows_to_csv(tmp_path / "rows.csv", ["a", "b"], [[1]])
+
+    def test_series_to_csv_columns(self, tmp_path):
+        path = tmp_path / "series.csv"
+        series_to_csv(path, [1, 2], {"y1": [10, 20], "y2": [30, 40]}, x_label="n")
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["n", "y1", "y2"]
+        assert rows[1] == ["1", "10", "30"]
+
+    def test_series_to_csv_validations(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            series_to_csv(tmp_path / "x.csv", [1, 2], {})
+        with pytest.raises(ConfigurationError):
+            series_to_csv(tmp_path / "x.csv", [1, 2], {"y": [1]})
+
+    def test_sweep_to_csv(self, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(path, simple_sweep())
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["n", "time", "count"]
+        assert len(rows) == 4
+
+    def test_sweep_to_csv_rejects_empty_sweep(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            sweep_to_csv(tmp_path / "x.csv", SweepResult(parameter="n"))
+
+    def test_write_figure_artifacts_creates_both_files(self, tmp_path):
+        csv_path, txt_path = write_figure_artifacts(
+            simple_sweep(), tmp_path / "figures", "fig_test", title="test figure"
+        )
+        assert csv_path.exists() and txt_path.exists()
+        assert "test figure" in txt_path.read_text(encoding="utf-8")
+        with open(csv_path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "n"
