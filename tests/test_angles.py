@@ -6,7 +6,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
@@ -134,9 +134,16 @@ class TestAngularDistance:
         )
 
     @given(direction_arrays(3), direction_arrays(3), direction_arrays(3))
+    # Parallel rays at different scales: arccos noise makes the left side
+    # ~1.5e-8 while both right-side terms are exactly 0.
+    @example(
+        np.array([1.56450694] * 3), np.array([1.0] * 3), np.array([1.59375] * 3)
+    )
     @settings(max_examples=60, deadline=None)
     def test_triangle_inequality(self, a, b, c):
-        assert angular_distance(a, c) <= angular_distance(a, b) + angular_distance(b, c) + 1e-9
+        # Slack covers arccos noise near parallel rays (~1.5e-8 for exactly
+        # parallel inputs whose normalised dot product rounds above 1).
+        assert angular_distance(a, c) <= angular_distance(a, b) + angular_distance(b, c) + 1e-7
 
     @given(direction_arrays(4))
     @settings(max_examples=50, deadline=None)
