@@ -1,0 +1,127 @@
+"""Old-vs-new 2-D preprocessing benchmark: vectorized + incremental sweep.
+
+Times the seed implementation (scalar per-pair exchange construction +
+black-box per-sector oracle evaluation) against the rebuilt hot path
+(broadcast exchange kernel + incremental-oracle protocol) on COMPAS-like
+synthetic data, asserting the outputs are *identical* — same satisfactory
+intervals, same exchange counts, same oracle-call accounting — while the
+wall-clock drops.
+
+Run standalone to regenerate the machine-readable trajectory consumed by
+future perf PRs::
+
+    PYTHONPATH=src python benchmarks/bench_preprocessing_speedup.py
+
+which writes ``BENCH_preprocessing.json`` at the repository root with the
+full n ∈ {200, 500, 1000} grid.  The pytest entry point runs a reduced grid
+so the benchmark suite stays quick; the equivalence itself is also guarded by
+the ``perf_smoke``-marked tier-1 tests in ``tests/test_incremental_oracle.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.two_dim import TwoDRaySweep
+from repro.data.synthetic import make_compas_like
+from repro.fairness.oracle import CountingOracle
+from repro.fairness.proportional import ProportionalOracle
+from repro.geometry.dual import build_exchange_angles_2d_reference
+
+DEFAULT_N_VALUES = (200, 500, 1000)
+
+
+def _workload(n: int):
+    dataset = make_compas_like(n=n, seed=5).project(
+        ["c_days_from_compas", "juv_other_count"]
+    )
+    oracle = ProportionalOracle.at_most_share_plus_slack(
+        dataset, "race", "African-American", k=0.3, slack=0.10
+    )
+    return dataset, oracle
+
+
+def compare_preprocessing(n: int) -> dict:
+    """Time seed-path vs vectorized+incremental 2DRAYSWEEP at one dataset size."""
+    dataset, oracle = _workload(n)
+    reference_oracle = CountingOracle(oracle)
+    fast_oracle = CountingOracle(oracle)
+
+    start = time.perf_counter()
+    reference = TwoDRaySweep(
+        dataset,
+        reference_oracle,
+        use_incremental=False,
+        exchange_builder=build_exchange_angles_2d_reference,
+    ).run()
+    reference_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = TwoDRaySweep(dataset, fast_oracle).run()
+    fast_seconds = time.perf_counter() - start
+
+    intervals_equal = [(iv.start, iv.end) for iv in reference.intervals] == [
+        (iv.start, iv.end) for iv in fast.intervals
+    ]
+    return {
+        "n": n,
+        "reference_seconds": reference_seconds,
+        "vectorized_seconds": fast_seconds,
+        "speedup": reference_seconds / fast_seconds if fast_seconds > 0 else float("inf"),
+        "ordering_exchanges": fast.n_exchanges,
+        "oracle_calls_reference": reference_oracle.calls,
+        "oracle_calls_vectorized": fast_oracle.calls,
+        "oracle_calls_equal": reference_oracle.calls == fast_oracle.calls,
+        "intervals": len(fast.intervals),
+        "intervals_equal": intervals_equal,
+    }
+
+
+def run_grid(n_values=DEFAULT_N_VALUES) -> dict:
+    results = [compare_preprocessing(n) for n in n_values]
+    return {
+        "benchmark": "2d_preprocessing_speedup",
+        "workload": "make_compas_like(seed=5) projected to 2 attributes, "
+        "FM1 (<= share+10% African-American in top 30%)",
+        "reference_path": "scalar per-pair exchange construction + black-box per-sector oracle",
+        "vectorized_path": "broadcast exchange kernel + incremental-oracle protocol",
+        "generated_unix_time": time.time(),
+        "results": results,
+    }
+
+
+def test_preprocessing_speedup_and_equivalence(benchmark, once):
+    """Reduced-grid pytest entry: new path is equivalent and clearly faster."""
+    payload = once(benchmark, run_grid, n_values=(100, 200))
+    print("\n[perf] 2D preprocessing old-vs-new")
+    for row in payload["results"]:
+        print(
+            f"  n={row['n']}: {row['reference_seconds']:.3f}s -> "
+            f"{row['vectorized_seconds']:.3f}s ({row['speedup']:.1f}x)"
+        )
+    for row in payload["results"]:
+        assert row["intervals_equal"]
+        assert row["oracle_calls_equal"]
+    # Modest bound at the reduced scale; the committed BENCH_preprocessing.json
+    # records the full-grid speedups (>= 10x at n=1000).
+    assert payload["results"][-1]["speedup"] >= 3.0
+
+
+def main() -> None:
+    payload = run_grid()
+    output = Path(__file__).resolve().parent.parent / "BENCH_preprocessing.json"
+    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    for row in payload["results"]:
+        print(
+            f"n={row['n']}: reference {row['reference_seconds']:.3f}s, "
+            f"vectorized {row['vectorized_seconds']:.3f}s, "
+            f"speedup {row['speedup']:.1f}x, intervals_equal={row['intervals_equal']}, "
+            f"oracle_calls_equal={row['oracle_calls_equal']}"
+        )
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -98,19 +98,29 @@ class SatRegions:
         self.use_arrangement_tree = use_arrangement_tree
         self.max_hyperplanes = max_hyperplanes
         self.convex_layer_k = convex_layer_k
+        self._hyperplanes: list[Hyperplane] | None = None
 
     # ------------------------------------------------------------------ #
     # offline construction
     # ------------------------------------------------------------------ #
     def build_hyperplanes(self) -> list[Hyperplane]:
-        """Construct the exchange hyperplanes (optionally convex-layer filtered / capped)."""
-        item_indices = None
-        if self.convex_layer_k is not None:
-            item_indices = topk_candidate_indices(self.dataset.scores, self.convex_layer_k)
-        hyperplanes = build_exchange_hyperplanes(self.dataset, item_indices)
-        if self.max_hyperplanes is not None:
-            hyperplanes = hyperplanes[: self.max_hyperplanes]
-        return hyperplanes
+        """Construct the exchange hyperplanes (optionally convex-layer filtered / capped).
+
+        Pair eligibility is decided by the vectorised dominance kernel inside
+        :func:`~repro.geometry.dual.build_exchange_hyperplanes` (one broadcast
+        pass instead of ~n²/2 per-pair dominance re-tests).  The result is
+        memoized on the instance: dataset and filter parameters are fixed at
+        construction, so repeated ``run()`` calls reuse the hyperplanes.
+        """
+        if self._hyperplanes is None:
+            item_indices = None
+            if self.convex_layer_k is not None:
+                item_indices = topk_candidate_indices(self.dataset.scores, self.convex_layer_k)
+            hyperplanes = build_exchange_hyperplanes(self.dataset, item_indices)
+            if self.max_hyperplanes is not None:
+                hyperplanes = hyperplanes[: self.max_hyperplanes]
+            self._hyperplanes = hyperplanes
+        return self._hyperplanes
 
     def run(self) -> MDExactIndex:
         """Build the arrangement, evaluate every region and keep the satisfactory ones."""

@@ -8,11 +8,25 @@ fairness oracle needs to be evaluated only once per *sector* between
 consecutive exchange angles.  Adjacent satisfactory sectors are merged into
 *satisfactory regions*; online queries then binary-search the sorted region
 list (Algorithm 2).
+
+Hot-path architecture
+---------------------
+Offline, the sweep is vectorised end to end: exchange angles come from the
+broadcast kernel in :mod:`repro.geometry.dual` (no per-pair Python calls), and
+when the oracle implements the :class:`~repro.fairness.incremental.IncrementalOracle`
+protocol the verdict is maintained *incrementally* — ``apply_swap`` per
+exchange event, O(1) ``verdict()`` per sector — instead of re-evaluating the
+oracle from a cold start in every sector.  Black-box oracles keep working
+through the original per-sector ``is_satisfactory`` path, and both paths make
+exactly one counted oracle call per sector, so the paper's oracle-call metric
+(Theorem 1) is unchanged.  Online, :class:`TwoDIndex` caches the interval
+start angles as a NumPy array whenever ``intervals`` is assigned, keeping
+``2DONLINE`` a true O(log |intervals|) ``searchsorted`` without per-query list
+rebuilding.
 """
 
 from __future__ import annotations
 
-import bisect
 import math
 from dataclasses import dataclass, field
 
@@ -20,6 +34,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import GeometryError, NoSatisfactoryFunctionError, NotPreprocessedError
+from repro.fairness.incremental import as_incremental
 from repro.fairness.oracle import FairnessOracle
 from repro.geometry.angles import HALF_PI
 from repro.geometry.dual import build_exchange_angles_2d
@@ -68,15 +83,34 @@ class TwoDIndex:
     ----------
     intervals:
         Maximal satisfactory intervals, sorted by start angle and disjoint.
+        Stored as a tuple (any sequence assigned is normalised) so the cached
+        start-angle array can never silently desynchronise through in-place
+        mutation — reassign to change the intervals.
     n_exchanges:
         Number of ordering exchanges found (the left axis of paper Fig. 17).
     oracle_calls:
         Number of fairness-oracle evaluations made during the sweep.
     """
 
-    intervals: list[AngularInterval] = field(default_factory=list)
+    intervals: tuple[AngularInterval, ...] = field(default_factory=tuple)
     n_exchanges: int = 0
     oracle_calls: int = 0
+
+    def __setattr__(self, name: str, value) -> None:
+        # Keep the sorted start-angle array in sync with `intervals` so online
+        # queries binary-search a cached NumPy array instead of rebuilding a
+        # Python list per query.  The intervals are frozen into a tuple so the
+        # cache cannot be bypassed by in-place mutation.
+        if name == "intervals":
+            value = tuple(value)
+            starts = np.array([interval.start for interval in value], dtype=float)
+            object.__setattr__(self, "_interval_starts", starts)
+        object.__setattr__(self, name, value)
+
+    @property
+    def interval_starts(self) -> np.ndarray:
+        """Sorted start angles of the satisfactory intervals (cached)."""
+        return self._interval_starts
 
     @property
     def has_satisfactory_region(self) -> bool:
@@ -85,7 +119,7 @@ class TwoDIndex:
 
     def is_satisfactory_angle(self, angle: float) -> bool:
         """Return True if the given angle falls inside a satisfactory region."""
-        position = bisect.bisect_right([interval.start for interval in self.intervals], angle)
+        position = int(np.searchsorted(self._interval_starts, angle, side="right"))
         for candidate in (position - 1, position):
             if 0 <= candidate < len(self.intervals) and self.intervals[candidate].contains(angle):
                 return True
@@ -117,8 +151,7 @@ class TwoDIndex:
         radius = float(np.linalg.norm(weights))
         angle = math.atan2(weights[1], weights[0])
 
-        starts = [interval.start for interval in self.intervals]
-        position = bisect.bisect_right(starts, angle)
+        position = int(np.searchsorted(self._interval_starts, angle, side="right"))
         candidates = [
             self.intervals[index]
             for index in (position - 1, position)
@@ -164,25 +197,41 @@ class TwoDRaySweep:
         A dataset with exactly two scoring attributes.
     oracle:
         The fairness oracle that labels orderings.
+    use_incremental:
+        When True (default) and the oracle implements the incremental-oracle
+        protocol, sector verdicts are maintained in O(1) per swap instead of
+        re-evaluating the oracle per sector.  Disable to force the black-box
+        path (the reference behaviour benchmarks compare against).
+    exchange_builder:
+        Exchange-construction function (defaults to the vectorised
+        :func:`~repro.geometry.dual.build_exchange_angles_2d`); benchmarks
+        inject the scalar reference kernel here.
     """
 
-    def __init__(self, dataset: Dataset, oracle: FairnessOracle) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        oracle: FairnessOracle,
+        use_incremental: bool = True,
+        exchange_builder=None,
+    ) -> None:
         if dataset.n_attributes != 2:
             raise GeometryError("TwoDRaySweep requires a dataset with exactly 2 scoring attributes")
         self.dataset = dataset
         self.oracle = oracle
+        self.use_incremental = use_incremental
+        self.exchange_builder = exchange_builder or build_exchange_angles_2d
 
     def run(self) -> TwoDIndex:
         """Sweep the ray from the x-axis to the y-axis and index satisfactory regions."""
-        exchanges = sorted(build_exchange_angles_2d(self.dataset))
+        exchanges = sorted(self.exchange_builder(self.dataset))
         index = TwoDIndex(n_exchanges=len(exchanges))
 
         # Ordering at angle 0 (f = x): descending x, ties broken by descending y
         # (the order that holds for angles slightly above 0), then by item index.
         scores = self.dataset.scores
-        ordering = sorted(
-            range(self.dataset.n_items), key=lambda item: (-scores[item, 0], -scores[item, 1], item)
-        )
+        n = self.dataset.n_items
+        ordering = np.lexsort((np.arange(n), -scores[:, 1], -scores[:, 0])).tolist()
         position_of = {item: position for position, item in enumerate(ordering)}
 
         # Sector boundaries: 0, the grouped exchange angles, π/2.
@@ -193,13 +242,23 @@ class TwoDRaySweep:
             else:
                 grouped.append((angle, [(i, j)]))
 
+        incremental = as_incremental(self.oracle) if self.use_incremental else None
+        if incremental is not None:
+            incremental.begin(np.asarray(ordering, dtype=int), self.dataset)
+
+            def evaluate_current() -> bool:
+                index.oracle_calls += 1
+                return incremental.verdict()
+
+        else:
+
+            def evaluate_current() -> bool:
+                index.oracle_calls += 1
+                return self.oracle.is_satisfactory(np.asarray(ordering, dtype=int), self.dataset)
+
         satisfactory_flags: list[bool] = []
         sector_bounds: list[tuple[float, float]] = []
         previous_angle = 0.0
-
-        def evaluate_current() -> bool:
-            index.oracle_calls += 1
-            return self.oracle.is_satisfactory(np.asarray(ordering, dtype=int), self.dataset)
 
         for angle, pairs in grouped:
             if angle > previous_angle:
@@ -210,6 +269,8 @@ class TwoDRaySweep:
                 position_i, position_j = position_of[i], position_of[j]
                 ordering[position_i], ordering[position_j] = ordering[position_j], ordering[position_i]
                 position_of[i], position_of[j] = position_j, position_i
+                if incremental is not None:
+                    incremental.apply_swap(position_i, position_j)
         sector_bounds.append((previous_angle, HALF_PI))
         satisfactory_flags.append(evaluate_current())
 

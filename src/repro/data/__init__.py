@@ -12,7 +12,9 @@ from repro.data.loaders import LoadReport, load_compas_csv, load_dot_csv, load_n
 from repro.data.dominance import (
     dominance_matrix,
     dominates,
+    exchange_pair_indices,
     non_dominated_pairs,
+    pairwise_close_matrix,
     skyline_indices,
 )
 from repro.data.layers import convex_layers, topk_candidate_indices, upper_hull_indices
@@ -36,8 +38,10 @@ __all__ = [
     "load_dot_csv",
     "dominates",
     "dominance_matrix",
+    "pairwise_close_matrix",
     "skyline_indices",
     "non_dominated_pairs",
+    "exchange_pair_indices",
     "convex_layers",
     "upper_hull_indices",
     "topk_candidate_indices",

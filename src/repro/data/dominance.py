@@ -15,7 +15,14 @@ import numpy as np
 
 from repro.exceptions import DatasetError
 
-__all__ = ["dominates", "dominance_matrix", "skyline_indices", "non_dominated_pairs"]
+__all__ = [
+    "dominates",
+    "dominance_matrix",
+    "pairwise_close_matrix",
+    "skyline_indices",
+    "non_dominated_pairs",
+    "exchange_pair_indices",
+]
 
 
 def dominates(first: np.ndarray, second: np.ndarray) -> bool:
@@ -54,16 +61,65 @@ def skyline_indices(scores: np.ndarray) -> np.ndarray:
     return np.flatnonzero(~dominated)
 
 
+def pairwise_close_matrix(
+    scores: np.ndarray, rtol: float = 1e-5, atol: float = 1e-8
+) -> np.ndarray:
+    """Return a boolean matrix ``C`` with ``C[i, j]`` true iff ``allclose(scores[i], scores[j])``.
+
+    Uses the same (asymmetric) tolerance rule as :func:`numpy.allclose`,
+    ``|a - b| <= atol + rtol * |b|`` with ``b = scores[j]``, so masking with
+    this matrix is exactly equivalent to the per-pair ``np.allclose`` check of
+    the scalar exchange-construction path.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise DatasetError("pairwise_close_matrix expects an (n, d) matrix")
+    difference = np.abs(scores[:, None, :] - scores[None, :, :])
+    tolerance = atol + rtol * np.abs(scores[None, :, :])
+    return np.all(difference <= tolerance, axis=2)
+
+
 def non_dominated_pairs(scores: np.ndarray) -> list[tuple[int, int]]:
     """Return all index pairs ``(i, j)`` with ``i < j`` where neither item dominates the other.
 
     These are exactly the pairs that produce an ordering-exchange hyperplane.
+    Vectorised: the dominance matrix is masked and the surviving upper-triangle
+    entries are enumerated with :func:`numpy.nonzero` (row-major, so the output
+    order matches the historical nested-loop enumeration).
     """
     matrix = dominance_matrix(scores)
-    n = matrix.shape[0]
-    pairs: list[tuple[int, int]] = []
-    for i in range(n - 1):
-        for j in range(i + 1, n):
-            if not matrix[i, j] and not matrix[j, i]:
-                pairs.append((i, j))
-    return pairs
+    mutual = ~matrix & ~matrix.T
+    i_indices, j_indices = np.nonzero(np.triu(mutual, k=1))
+    return list(zip(i_indices.tolist(), j_indices.tolist()))
+
+
+def exchange_pair_indices(
+    scores: np.ndarray, rtol: float = 1e-5, atol: float = 1e-8
+) -> np.ndarray:
+    """Return the ``(m, 2)`` array of row pairs that produce an ordering exchange.
+
+    A pair exchanges iff the two rows are not near-identical (``allclose``) and
+    neither dominates the other (§3.2, footnote 4).  This is the single
+    vectorised pair-enumeration kernel shared by the 2-D ray sweep, the
+    multi-dimensional arrangement construction and the approximate
+    preprocessor; it replaces ~n²/2 scalar ``has_exchange`` calls with three
+    broadcast comparisons.  O(n² d) time and O(n²) memory; pairs are returned
+    with ``i < j`` in row-major (nested-loop) order.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise DatasetError("exchange_pair_indices expects an (n, d) matrix")
+    # One shared (n, n, d) difference tensor feeds all three masks (IEEE
+    # subtraction preserves comparison signs exactly, so `diff >= 0` matches
+    # `scores[i] >= scores[j]` elementwise), roughly halving peak memory vs.
+    # composing dominance_matrix + pairwise_close_matrix.
+    difference = scores[:, None, :] - scores[None, :, :]
+    greater_equal = np.all(difference >= 0.0, axis=2)
+    strictly_greater = np.any(difference > 0.0, axis=2)
+    dominates_matrix = greater_equal & strictly_greater
+    close = np.all(
+        np.abs(difference) <= atol + rtol * np.abs(scores[None, :, :]), axis=2
+    )
+    eligible = ~dominates_matrix & ~dominates_matrix.T & ~close
+    i_indices, j_indices = np.nonzero(np.triu(eligible, k=1))
+    return np.column_stack((i_indices, j_indices))

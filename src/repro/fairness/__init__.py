@@ -16,6 +16,12 @@ from repro.fairness.measures import (
     rnd_measure,
     selection_rate_ratio,
 )
+from repro.fairness.incremental import (
+    IncrementalOracle,
+    PrefixGroupCounter,
+    TopKGroupCounter,
+    as_incremental,
+)
 from repro.fairness.multi_attribute import MultiAttributeOracle
 from repro.fairness.oracle import CallableOracle, CountingOracle, FairnessOracle
 from repro.fairness.pairwise import (
@@ -32,6 +38,10 @@ __all__ = [
     "FairnessOracle",
     "CallableOracle",
     "CountingOracle",
+    "IncrementalOracle",
+    "as_incremental",
+    "TopKGroupCounter",
+    "PrefixGroupCounter",
     "ProportionalOracle",
     "TopKGroupBoundOracle",
     "MultiAttributeOracle",

@@ -14,42 +14,60 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.incremental import as_incremental
 from repro.fairness.oracle import FairnessOracle
 
 __all__ = ["AndOracle", "OrOracle", "NotOracle"]
 
 
-class AndOracle(FairnessOracle):
-    """Satisfied when every child oracle is satisfied (conjunction; FM2 is built this way)."""
+class _NaryOracle(FairnessOracle):
+    """Shared child handling and incremental plumbing of And/Or composites.
+
+    The incremental protocol is forwarded to every child; subclasses only
+    define how the child results combine.  Capable only when every child is.
+    """
 
     def __init__(self, children: Sequence[FairnessOracle]):
         children = list(children)
         if not children:
-            raise OracleError("AndOracle needs at least one child oracle")
+            raise OracleError(f"{type(self).__name__} needs at least one child oracle")
         if not all(isinstance(child, FairnessOracle) for child in children):
             raise OracleError("all children must be FairnessOracle instances")
         self.children = children
 
+    def incremental_capable(self) -> bool:
+        return all(as_incremental(child) is not None for child in self.children)
+
+    def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
+        for child in self.children:
+            child.begin(ordering, dataset)
+
+    def apply_swap(self, pos_i: int, pos_j: int) -> None:
+        for child in self.children:
+            child.apply_swap(pos_i, pos_j)
+
+
+class AndOracle(_NaryOracle):
+    """Satisfied when every child oracle is satisfied (conjunction; FM2 is built this way)."""
+
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         return all(child.is_satisfactory(ordering, dataset) for child in self.children)
+
+    def verdict(self) -> bool:
+        return all(child.verdict() for child in self.children)
 
     def describe(self) -> str:
         return " AND ".join(child.describe() for child in self.children)
 
 
-class OrOracle(FairnessOracle):
+class OrOracle(_NaryOracle):
     """Satisfied when at least one child oracle is satisfied (disjunction)."""
-
-    def __init__(self, children: Sequence[FairnessOracle]):
-        children = list(children)
-        if not children:
-            raise OracleError("OrOracle needs at least one child oracle")
-        if not all(isinstance(child, FairnessOracle) for child in children):
-            raise OracleError("all children must be FairnessOracle instances")
-        self.children = children
 
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         return any(child.is_satisfactory(ordering, dataset) for child in self.children)
+
+    def verdict(self) -> bool:
+        return any(child.verdict() for child in self.children)
 
     def describe(self) -> str:
         return " OR ".join(child.describe() for child in self.children)
@@ -65,6 +83,19 @@ class NotOracle(FairnessOracle):
 
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         return not self.child.is_satisfactory(ordering, dataset)
+
+    # incremental protocol: capable only when the child is.
+    def incremental_capable(self) -> bool:
+        return as_incremental(self.child) is not None
+
+    def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
+        self.child.begin(ordering, dataset)
+
+    def apply_swap(self, pos_i: int, pos_j: int) -> None:
+        self.child.apply_swap(pos_i, pos_j)
+
+    def verdict(self) -> bool:
+        return not self.child.verdict()
 
     def describe(self) -> str:
         return f"NOT ({self.child.describe()})"

@@ -103,6 +103,19 @@ class MultiAttributeOracle(FairnessOracle):
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         return self._inner.is_satisfactory(ordering, dataset)
 
+    # incremental protocol: FM2 is a conjunction, so delegate to it wholesale.
+    def incremental_capable(self) -> bool:
+        return self._inner.incremental_capable()
+
+    def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
+        self._inner.begin(ordering, dataset)
+
+    def apply_swap(self, pos_i: int, pos_j: int) -> None:
+        self._inner.apply_swap(pos_i, pos_j)
+
+    def verdict(self) -> bool:
+        return self._inner.verdict()
+
     def describe(self) -> str:
         return f"FM2[{self._inner.describe()}]"
 

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.incremental import as_incremental
 from repro.ranking.scoring import LinearScoringFunction
 
 __all__ = ["FairnessOracle", "CallableOracle", "CountingOracle"]
@@ -87,6 +88,24 @@ class CountingOracle(FairnessOracle):
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         self.calls += 1
         return self.inner.is_satisfactory(ordering, dataset)
+
+    # ------------------------------------------------------------------ #
+    # incremental protocol: forward to the wrapped oracle, counting one call
+    # per verdict so sweep-style algorithms report the same oracle-call
+    # numbers whether they run incrementally or as a black box.
+    # ------------------------------------------------------------------ #
+    def incremental_capable(self) -> bool:
+        return as_incremental(self.inner) is not None
+
+    def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
+        self.inner.begin(ordering, dataset)
+
+    def apply_swap(self, pos_i: int, pos_j: int) -> None:
+        self.inner.apply_swap(pos_i, pos_j)
+
+    def verdict(self) -> bool:
+        self.calls += 1
+        return self.inner.verdict()
 
     def reset(self) -> None:
         """Reset the call counter."""

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.incremental import PrefixGroupCounter
 from repro.fairness.oracle import FairnessOracle
 from repro.ranking.topk import resolve_k
 
@@ -145,6 +146,40 @@ class PrefixProportionalOracle(FairnessOracle):
                 return False
         return True
 
+    # ------------------------------------------------------------------ #
+    # incremental protocol (sweep hot path)
+    # ------------------------------------------------------------------ #
+    def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
+        """Initialise per-prefix count tracking (O(1) per adjacent swap)."""
+        k = resolve_k(dataset, self.k)
+        prefix_lengths = np.arange(1, k + 1)
+        required = (
+            None
+            if self.min_fraction is None
+            else np.ceil(self.min_fraction * prefix_lengths - 1e-9)
+        )
+        allowed = (
+            None
+            if self.max_fraction is None
+            else np.floor(self.max_fraction * prefix_lengths + 1e-9)
+        )
+        self._counter = PrefixGroupCounter(
+            dataset,
+            ordering,
+            self.attribute,
+            self.protected,
+            k,
+            required,
+            allowed,
+            enforced=prefix_lengths >= self.min_prefix,
+        )
+
+    def apply_swap(self, pos_i: int, pos_j: int) -> None:
+        self._counter.apply_swap(pos_i, pos_j)
+
+    def verdict(self) -> bool:
+        return self._counter.satisfied
+
     def describe(self) -> str:
         parts = []
         if self.min_fraction is not None:
@@ -200,6 +235,29 @@ class MinimumAtEveryPrefixOracle(FairnessOracle):
         prefix_lengths = np.arange(1, k + 1)
         required = np.ceil(self.target_fraction * prefix_lengths - 1e-9)
         return bool(np.all(counts >= required))
+
+    # ------------------------------------------------------------------ #
+    # incremental protocol (sweep hot path)
+    # ------------------------------------------------------------------ #
+    def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
+        """Initialise per-prefix count tracking (O(1) per adjacent swap)."""
+        k = resolve_k(dataset, self.k)
+        prefix_lengths = np.arange(1, k + 1)
+        self._counter = PrefixGroupCounter(
+            dataset,
+            ordering,
+            self.attribute,
+            self.protected,
+            k,
+            np.ceil(self.target_fraction * prefix_lengths - 1e-9),
+            None,
+        )
+
+    def apply_swap(self, pos_i: int, pos_j: int) -> None:
+        self._counter.apply_swap(pos_i, pos_j)
+
+    def verdict(self) -> bool:
+        return self._counter.satisfied
 
     def describe(self) -> str:
         return (

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.incremental import TopKGroupCounter
 from repro.fairness.oracle import FairnessOracle
 from repro.ranking.topk import group_counts_at_k, resolve_k
 
@@ -108,6 +109,32 @@ class ProportionalOracle(FairnessOracle):
                 return False
         return True
 
+    # ------------------------------------------------------------------ #
+    # incremental protocol (sweep hot path)
+    # ------------------------------------------------------------------ #
+    def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
+        """Initialise O(1)-per-swap tracking of the top-``k`` group count."""
+        k = resolve_k(dataset, self.k)
+        self._counter = TopKGroupCounter(dataset, ordering, self.attribute, self.group, k)
+        # The same rounded thresholds is_satisfactory applies per call.
+        self._min_count = (
+            None if self.min_fraction is None else math.ceil(self.min_fraction * k - 1e-9)
+        )
+        self._max_count = (
+            None if self.max_fraction is None else math.floor(self.max_fraction * k + 1e-9)
+        )
+
+    def apply_swap(self, pos_i: int, pos_j: int) -> None:
+        self._counter.apply_swap(pos_i, pos_j)
+
+    def verdict(self) -> bool:
+        count = self._counter.count
+        if self._min_count is not None and count < self._min_count:
+            return False
+        if self._max_count is not None and count > self._max_count:
+            return False
+        return True
+
     def describe(self) -> str:
         parts = []
         if self.min_fraction is not None:
@@ -151,6 +178,25 @@ class TopKGroupBoundOracle(FairnessOracle):
         k = resolve_k(dataset, self.k)
         counts = group_counts_at_k(dataset, ordering, self.attribute, k)
         count = counts.get(self.group, 0)
+        if self.min_count is not None and count < self.min_count:
+            return False
+        if self.max_count is not None and count > self.max_count:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # incremental protocol (sweep hot path)
+    # ------------------------------------------------------------------ #
+    def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
+        """Initialise O(1)-per-swap tracking of the top-``k`` group count."""
+        k = resolve_k(dataset, self.k)
+        self._counter = TopKGroupCounter(dataset, ordering, self.attribute, self.group, k)
+
+    def apply_swap(self, pos_i: int, pos_j: int) -> None:
+        self._counter.apply_swap(pos_i, pos_j)
+
+    def verdict(self) -> bool:
+        count = self._counter.count
         if self.min_count is not None and count < self.min_count:
             return False
         if self.max_count is not None and count > self.max_count:

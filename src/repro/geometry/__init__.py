@@ -26,7 +26,9 @@ from repro.geometry.cellplane import (
 )
 from repro.geometry.dual import (
     build_exchange_angles_2d,
+    build_exchange_angles_2d_reference,
     build_exchange_hyperplanes,
+    build_exchange_hyperplanes_reference,
     exchange_angle_2d,
     exchange_normal,
     has_exchange,
@@ -61,7 +63,9 @@ __all__ = [
     "has_exchange",
     "hyperpolar",
     "build_exchange_angles_2d",
+    "build_exchange_angles_2d_reference",
     "build_exchange_hyperplanes",
+    "build_exchange_hyperplanes_reference",
     "Hyperplane",
     "HalfSpace",
     "Region",

@@ -20,17 +20,27 @@ Three views of the same object are provided here:
   through ``d-1`` of its first-orthant points is precisely what Algorithm 3
   does, and the oracle evaluation at region representatives keeps the final
   labels correct.)
+
+Batch construction is vectorised: instead of calling :func:`has_exchange` on
+each of the ~n²/2 pairs (each call allocating arrays and re-running
+``np.allclose`` plus two ``dominates`` checks), the eligible pairs are
+enumerated in one shot by :func:`repro.data.dominance.exchange_pair_indices`
+(three broadcast comparisons over the (n, n, d) difference tensor), and all
+2-D exchange angles are then computed with a single vectorised ``arctan2``
+over the pairwise score differences.  The historical scalar loops are retained
+as ``build_exchange_angles_2d_reference`` / ``build_exchange_hyperplanes_reference``
+so tests and benchmarks can assert the kernels are exactly equivalent.  Both
+paths compute angles with the same ``np.arctan2`` primitive, so the produced
+angles are bit-identical.
 """
 
 from __future__ import annotations
-
-import math
 
 import numpy as np
 from scipy.linalg import null_space
 
 from repro.data.dataset import Dataset
-from repro.data.dominance import dominates
+from repro.data.dominance import dominates, exchange_pair_indices
 from repro.exceptions import GeometryError
 from repro.geometry.angles import to_angles
 from repro.geometry.hyperplane import Hyperplane
@@ -40,7 +50,9 @@ __all__ = [
     "exchange_angle_2d",
     "hyperpolar",
     "build_exchange_hyperplanes",
+    "build_exchange_hyperplanes_reference",
     "build_exchange_angles_2d",
+    "build_exchange_angles_2d_reference",
 ]
 
 
@@ -89,12 +101,14 @@ def exchange_angle_2d(first: np.ndarray, second: np.ndarray) -> float:
     dx = first[0] - second[0]
     dy = first[1] - second[1]
     # The exchange ray direction w satisfies dx*w1 + dy*w2 = 0 with w >= 0.
-    # Because the pair is non-dominated, dx and dy have strictly opposite signs.
+    # Because the pair is non-dominated, dx and dy have strictly opposite
+    # signs, so the first-quadrant direction is (|dy|, |dx|).  np.arctan2 keeps
+    # this bit-identical to the vectorised batch kernel.
     if dx > 0:
         weights = (-dy, dx)
     else:
         weights = (dy, -dx)
-    return math.atan2(weights[1], weights[0])
+    return float(np.arctan2(weights[1], weights[0]))
 
 
 def _strictly_positive_point_on(normal: np.ndarray) -> np.ndarray:
@@ -146,7 +160,19 @@ def hyperpolar(
         raise GeometryError("hyperpolar requires d >= 3; use exchange_angle_2d for d = 2")
     if not has_exchange(first, second):
         raise GeometryError("the pair has no ordering exchange in the first orthant")
+    return _hyperpolar_unchecked(first, second, label)
 
+
+def _hyperpolar_unchecked(
+    first: np.ndarray, second: np.ndarray, label: tuple[int, int] | None
+) -> Hyperplane:
+    """Core of :func:`hyperpolar` for callers that already verified the exchange.
+
+    The batch construction enumerates eligible pairs with the vectorised
+    dominance kernel, so re-running ``has_exchange`` per pair here would undo
+    that saving.
+    """
+    d = first.size
     normal = exchange_normal(first, second)
     base_point = _strictly_positive_point_on(normal)
     basis = null_space(normal[None, :])
@@ -187,6 +213,33 @@ def build_exchange_angles_2d(dataset: Dataset) -> list[tuple[float, int, int]]:
 
     Dominated and identical pairs are skipped, exactly as in Algorithm 1
     lines 2–8.  The list is *not* sorted; the ray-sweep sorts it.
+
+    Vectorised: pair eligibility comes from one dominance-matrix kernel and
+    all angles from a single ``arctan2`` over the pairwise score differences —
+    no per-pair Python calls.  Output is identical (bit-for-bit) to
+    :func:`build_exchange_angles_2d_reference`.
+    """
+    if dataset.n_attributes != 2:
+        raise GeometryError("build_exchange_angles_2d requires a 2-attribute dataset")
+    scores = dataset.scores
+    pairs = exchange_pair_indices(scores)
+    if pairs.shape[0] == 0:
+        return []
+    differences = scores[pairs[:, 0]] - scores[pairs[:, 1]]
+    # Non-dominated 2-D pairs have dx, dy of strictly opposite signs; the
+    # first-quadrant exchange direction is (|dy|, |dx|) (Eq. 2).
+    angles = np.arctan2(np.abs(differences[:, 0]), np.abs(differences[:, 1]))
+    return [
+        (float(angle), int(i), int(j))
+        for angle, i, j in zip(angles.tolist(), pairs[:, 0].tolist(), pairs[:, 1].tolist())
+    ]
+
+
+def build_exchange_angles_2d_reference(dataset: Dataset) -> list[tuple[float, int, int]]:
+    """Scalar per-pair reference implementation of :func:`build_exchange_angles_2d`.
+
+    Retained (not used on the hot path) so tests and benchmarks can verify the
+    vectorised kernel produces exactly the same exchanges.
     """
     if dataset.n_attributes != 2:
         raise GeometryError("build_exchange_angles_2d requires a 2-attribute dataset")
@@ -219,6 +272,33 @@ def build_exchange_hyperplanes(
     list of Hyperplane
         One hyperplane per exchanging pair, labelled with the pair's original
         item indices.
+    """
+    if dataset.n_attributes < 3:
+        raise GeometryError("build_exchange_hyperplanes requires d >= 3")
+    if item_indices is None:
+        indices = np.arange(dataset.n_items)
+    else:
+        indices = np.asarray(item_indices, dtype=int)
+    scores = dataset.scores
+    # One vectorised eligibility pass over the (possibly restricted) item set
+    # replaces the per-pair has_exchange calls; hyperpolar's own recheck is
+    # skipped via the unchecked core.
+    pairs = exchange_pair_indices(scores[indices])
+    hyperplanes: list[Hyperplane] = []
+    for position_i, position_j in pairs.tolist():
+        i = int(indices[position_i])
+        j = int(indices[position_j])
+        hyperplanes.append(_hyperpolar_unchecked(scores[i], scores[j], label=(i, j)))
+    return hyperplanes
+
+
+def build_exchange_hyperplanes_reference(
+    dataset: Dataset, item_indices: np.ndarray | None = None
+) -> list[Hyperplane]:
+    """Scalar per-pair reference implementation of :func:`build_exchange_hyperplanes`.
+
+    Retained so tests can verify the vectorised pair enumeration selects
+    exactly the same pairs (and therefore the same hyperplanes).
     """
     if dataset.n_attributes < 3:
         raise GeometryError("build_exchange_hyperplanes requires d >= 3")

@@ -68,8 +68,18 @@ class LinearScoringFunction:
         return len(self.weights)
 
     def as_array(self) -> np.ndarray:
-        """Weights as a numpy array."""
-        return np.asarray(self.weights, dtype=float)
+        """Weights as a numpy array (memoized; the returned array is read-only).
+
+        Scoring, ordering and angular-distance computations all start from
+        this array, and sweep/arrangement code calls them in tight loops — so
+        the conversion is done once per (immutable) function instance.
+        """
+        array = getattr(self, "_weights_array", None)
+        if array is None:
+            array = np.asarray(self.weights, dtype=float)
+            array.setflags(write=False)
+            object.__setattr__(self, "_weights_array", array)
+        return array
 
     def normalized(self) -> "LinearScoringFunction":
         """The same ray with unit Euclidean norm."""

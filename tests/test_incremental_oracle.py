@@ -1,0 +1,317 @@
+"""Equivalence tests for the vectorized + incremental sweep hot path.
+
+Two retained reference paths anchor these tests:
+
+* the scalar per-pair exchange construction
+  (``build_exchange_angles_2d_reference`` / ``build_exchange_hyperplanes_reference``),
+* black-box per-sector oracle evaluation (``TwoDRaySweep(use_incremental=False)``).
+
+The vectorized kernels and the incremental-oracle protocol must reproduce
+them *exactly*: same angles (bit-for-bit), same pair labels, same
+satisfactory intervals, and the same oracle-call accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.two_dim import TwoDRaySweep
+from repro.data.dataset import Dataset
+from repro.data.dominance import (
+    dominance_matrix,
+    exchange_pair_indices,
+    non_dominated_pairs,
+    pairwise_close_matrix,
+)
+from repro.data.synthetic import make_compas_like
+from repro.fairness.composite import AndOracle, NotOracle, OrOracle
+from repro.fairness.incremental import as_incremental
+from repro.fairness.multi_attribute import MultiAttributeOracle
+from repro.fairness.oracle import CallableOracle, CountingOracle
+from repro.fairness.prefix import MinimumAtEveryPrefixOracle, PrefixProportionalOracle
+from repro.fairness.proportional import ProportionalOracle, TopKGroupBoundOracle
+from repro.geometry.dual import (
+    build_exchange_angles_2d,
+    build_exchange_angles_2d_reference,
+    build_exchange_hyperplanes,
+    build_exchange_hyperplanes_reference,
+    has_exchange,
+)
+
+
+def _compas_2d(n: int, seed: int) -> Dataset:
+    return make_compas_like(n=n, seed=seed).project(
+        ["c_days_from_compas", "juv_other_count"]
+    )
+
+
+def _oracle_zoo(dataset: Dataset) -> list:
+    """One oracle of every incremental-capable flavour, on the given dataset."""
+    fm1 = ProportionalOracle.at_most_share_plus_slack(
+        dataset, "race", "African-American", k=0.3, slack=0.10
+    )
+    both_sides = ProportionalOracle(
+        "race", "African-American", k=0.4, min_fraction=0.2, max_fraction=0.7
+    )
+    bound = TopKGroupBoundOracle("sex", "male", k=10, min_count=2, max_count=8)
+    prefix = PrefixProportionalOracle(
+        "race", "African-American", k=0.4, max_fraction=0.8, min_prefix=3
+    )
+    fair = MinimumAtEveryPrefixOracle("sex", "male", k=12, target_fraction=0.3)
+    fm2 = MultiAttributeOracle.from_dataset_shares(
+        dataset, {"sex": ["male"], "race": ["African-American"]}, k=0.3
+    )
+    return [
+        fm1,
+        both_sides,
+        bound,
+        prefix,
+        fair,
+        fm2,
+        AndOracle([fm1, bound]),
+        OrOracle([both_sides, fair]),
+        NotOracle(prefix),
+    ]
+
+
+class TestVectorizedKernels:
+    @pytest.mark.perf_smoke
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exchange_angles_match_reference_exactly(self, seed):
+        dataset = _compas_2d(60, seed)
+        assert build_exchange_angles_2d(dataset) == build_exchange_angles_2d_reference(
+            dataset
+        )
+
+    def test_exchange_angles_with_duplicates_and_dominated_rows(self):
+        scores = np.array(
+            [
+                [1.0, 2.0],
+                [1.0, 2.0],  # exact duplicate of item 0
+                [2.0, 1.0],
+                [0.5, 0.5],  # dominated by everything
+                [1.0 + 5e-9, 2.0],  # allclose-duplicate of item 0
+            ]
+        )
+        dataset = Dataset(scores=scores, scoring_attributes=["x", "y"])
+        vectorized = build_exchange_angles_2d(dataset)
+        assert vectorized == build_exchange_angles_2d_reference(dataset)
+        labels = {(i, j) for _, i, j in vectorized}
+        assert (0, 1) not in labels
+        assert (0, 4) not in labels
+        assert (0, 2) in labels
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_exchange_hyperplanes_match_reference_exactly(self, seed):
+        dataset = make_compas_like(n=30, seed=seed).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        )
+        vectorized = build_exchange_hyperplanes(dataset)
+        reference = build_exchange_hyperplanes_reference(dataset)
+        assert [(p.label, p.coefficients) for p in vectorized] == [
+            (p.label, p.coefficients) for p in reference
+        ]
+
+    def test_exchange_hyperplanes_subset_match_reference(self, paper_3d_dataset):
+        indices = np.array([2, 0, 3])
+        vectorized = build_exchange_hyperplanes(paper_3d_dataset, item_indices=indices)
+        reference = build_exchange_hyperplanes_reference(
+            paper_3d_dataset, item_indices=indices
+        )
+        assert [(p.label, p.coefficients) for p in vectorized] == [
+            (p.label, p.coefficients) for p in reference
+        ]
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_non_dominated_pairs_matches_nested_loop(self, seed):
+        scores = make_compas_like(n=40, seed=seed).project(
+            ["c_days_from_compas", "juv_other_count", "start"]
+        ).scores
+        matrix = dominance_matrix(scores)
+        n = matrix.shape[0]
+        reference = [
+            (i, j)
+            for i in range(n - 1)
+            for j in range(i + 1, n)
+            if not matrix[i, j] and not matrix[j, i]
+        ]
+        assert non_dominated_pairs(scores) == reference
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_pairwise_close_matrix_matches_allclose(self, seed):
+        """The broadcast closeness matrix encodes exactly np.allclose's rule."""
+        rng = np.random.default_rng(seed)
+        scores = rng.random((10, 3))
+        scores[4] = scores[1]
+        scores[7] = scores[2] + 1e-9
+        close = pairwise_close_matrix(scores)
+        for i in range(scores.shape[0]):
+            for j in range(scores.shape[0]):
+                assert close[i, j] == np.allclose(scores[i], scores[j])
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_exchange_pair_indices_agrees_with_has_exchange(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random((12, 3))
+        # Inject duplicates and dominated rows to exercise every mask.
+        scores[3] = scores[0]
+        scores[5] = scores[1] + 0.5
+        pairs = {tuple(pair) for pair in exchange_pair_indices(scores).tolist()}
+        for i in range(scores.shape[0] - 1):
+            for j in range(i + 1, scores.shape[0]):
+                assert ((i, j) in pairs) == has_exchange(scores[i], scores[j])
+
+
+class TestIncrementalProtocol:
+    @pytest.mark.parametrize("oracle_index", range(9))
+    def test_verdicts_track_is_satisfactory_under_random_swaps(self, oracle_index):
+        dataset = _compas_2d(50, seed=11)
+        oracle = _oracle_zoo(dataset)[oracle_index]
+        incremental = as_incremental(oracle)
+        assert incremental is not None
+
+        rng = np.random.default_rng(oracle_index)
+        ordering = rng.permutation(dataset.n_items)
+        incremental.begin(ordering.copy(), dataset)
+        assert incremental.verdict() == oracle.is_satisfactory(ordering, dataset)
+        for _ in range(120):
+            pos_i, pos_j = rng.choice(dataset.n_items, size=2, replace=False)
+            ordering[pos_i], ordering[pos_j] = ordering[pos_j], ordering[pos_i]
+            incremental.apply_swap(int(pos_i), int(pos_j))
+            assert incremental.verdict() == oracle.is_satisfactory(ordering, dataset)
+
+    def test_black_box_oracles_are_not_incremental(self):
+        callable_oracle = CallableOracle(lambda ordering, dataset: True, "always")
+        assert as_incremental(callable_oracle) is None
+        # A counting wrapper is only as capable as what it wraps.
+        assert as_incremental(CountingOracle(callable_oracle)) is None
+        dataset = _compas_2d(20, seed=0)
+        fm1 = ProportionalOracle.at_most_share_plus_slack(
+            dataset, "race", "African-American", k=0.3, slack=0.10
+        )
+        assert as_incremental(CountingOracle(fm1)) is not None
+        assert as_incremental(AndOracle([fm1, callable_oracle])) is None
+
+    def test_shared_oracle_instance_in_composite_falls_back_to_black_box(self):
+        """A composite referencing the same oracle twice must not run incrementally.
+
+        Composites forward every swap to each child reference; a shared
+        instance would absorb each transposition twice (self-cancelling) and
+        silently corrupt its counter state.
+        """
+        dataset = _compas_2d(40, seed=4)
+        leaf = ProportionalOracle.at_most_share_plus_slack(
+            dataset, "race", "African-American", k=0.3, slack=0.10
+        )
+        shared = AndOracle([leaf, leaf])
+        assert as_incremental(shared) is None
+        nested = OrOracle([leaf, AndOracle([leaf])])
+        assert as_incremental(nested) is None
+        black_box = TwoDRaySweep(dataset, shared, use_incremental=False).run()
+        swept = TwoDRaySweep(dataset, shared).run()
+        assert [(iv.start, iv.end) for iv in swept.intervals] == [
+            (iv.start, iv.end) for iv in black_box.intervals
+        ]
+
+    def test_subclass_overriding_is_satisfactory_falls_back_to_black_box(self):
+        """Overriding is_satisfactory without verdict must disable the protocol.
+
+        Otherwise the sweep would use the parent's incremental verdict and
+        silently ignore the override.
+        """
+
+        class StricterOracle(ProportionalOracle):
+            def is_satisfactory(self, ordering, dataset) -> bool:
+                return super().is_satisfactory(ordering, dataset) and int(ordering[0]) % 2 == 0
+
+        dataset = _compas_2d(30, seed=2)
+        stricter = StricterOracle.at_most_share_plus_slack(
+            dataset, "race", "African-American", k=0.3, slack=0.10
+        )
+        assert as_incremental(stricter) is None
+        reference = TwoDRaySweep(
+            dataset,
+            CountingOracle(stricter),
+            use_incremental=False,
+            exchange_builder=build_exchange_angles_2d_reference,
+        ).run()
+        swept = TwoDRaySweep(dataset, stricter).run()
+        assert [(iv.start, iv.end) for iv in swept.intervals] == [
+            (iv.start, iv.end) for iv in reference.intervals
+        ]
+
+    def test_counting_oracle_counts_verdicts(self):
+        dataset = _compas_2d(20, seed=1)
+        fm1 = ProportionalOracle.at_most_share_plus_slack(
+            dataset, "race", "African-American", k=0.3, slack=0.10
+        )
+        counting = CountingOracle(fm1)
+        incremental = as_incremental(counting)
+        incremental.begin(np.arange(dataset.n_items), dataset)
+        assert counting.calls == 0
+        incremental.verdict()
+        incremental.apply_swap(0, 1)
+        incremental.verdict()
+        assert counting.calls == 2
+
+
+class TestSweepEquivalence:
+    @pytest.mark.perf_smoke
+    @pytest.mark.parametrize("oracle_index", range(9))
+    def test_incremental_sweep_matches_black_box_sweep(self, oracle_index):
+        dataset = _compas_2d(40, seed=oracle_index)
+        black_box = CountingOracle(_oracle_zoo(dataset)[oracle_index])
+        incremental = CountingOracle(_oracle_zoo(dataset)[oracle_index])
+
+        reference = TwoDRaySweep(
+            dataset,
+            black_box,
+            use_incremental=False,
+            exchange_builder=build_exchange_angles_2d_reference,
+        ).run()
+        fast = TwoDRaySweep(dataset, incremental).run()
+
+        assert [(iv.start, iv.end) for iv in fast.intervals] == [
+            (iv.start, iv.end) for iv in reference.intervals
+        ]
+        assert fast.n_exchanges == reference.n_exchanges
+        assert fast.oracle_calls == reference.oracle_calls
+        assert incremental.calls == black_box.calls
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_sweep_with_tied_exchange_angles(self, seed):
+        """Coincident exchange angles batch several (non-adjacent) swaps per event."""
+        rng = np.random.default_rng(seed)
+        base = rng.integers(1, 6, size=(14, 2)).astype(float)
+        dataset = Dataset(
+            scores=base,
+            scoring_attributes=["x", "y"],
+            types={"group": np.array(["a", "b"] * 7)},
+        )
+        oracle_factory = lambda: CountingOracle(
+            TopKGroupBoundOracle("group", "a", k=5, max_count=3)
+        )
+        black_box, incremental = oracle_factory(), oracle_factory()
+        reference = TwoDRaySweep(dataset, black_box, use_incremental=False).run()
+        fast = TwoDRaySweep(dataset, incremental).run()
+        assert [(iv.start, iv.end) for iv in fast.intervals] == [
+            (iv.start, iv.end) for iv in reference.intervals
+        ]
+        assert incremental.calls == black_box.calls
+
+
+class TestIndexStartCache:
+    def test_interval_starts_refresh_on_assignment(self):
+        from repro.core.two_dim import AngularInterval, TwoDIndex
+
+        index = TwoDIndex(intervals=[AngularInterval(0.1, 0.2)], oracle_calls=1)
+        assert index.interval_starts.tolist() == [0.1]
+        index.intervals = [AngularInterval(0.3, 0.4), AngularInterval(0.8, 0.9)]
+        assert index.interval_starts.tolist() == [0.3, 0.8]
+        assert index.is_satisfactory_angle(0.85)
+        assert not index.is_satisfactory_angle(0.5)
