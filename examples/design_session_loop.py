@@ -16,7 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import DesignSession, FairRankingDesigner
+from repro import ApproxConfig, DesignSession, FairRankingDesigner
 from repro.data import make_compas_like
 from repro.fairness import ProportionalOracle, audit_function, compare_audits, format_audit
 
@@ -32,7 +32,9 @@ def main() -> None:
     )
     print("constraint:", oracle.describe())
 
-    designer = FairRankingDesigner(dataset, oracle, n_cells=256, max_hyperplanes=150)
+    designer = FairRankingDesigner(
+        dataset, oracle, ApproxConfig(n_cells=256, max_hyperplanes=150)
+    )
     session = DesignSession(designer)
 
     # The committee's first instinct: weigh everything equally.

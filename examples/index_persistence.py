@@ -1,17 +1,22 @@
-"""Example: build the offline index once, persist it, and serve queries from disk.
+"""Example: preprocess once, persist the engine, and serve query batches from disk.
 
 The paper's system splits work into an expensive offline phase and an
 interactive online phase.  In a deployment those phases usually run in
 different processes: a batch job preprocesses the candidate pool overnight and
-writes the index; the interactive design tool only loads the index and answers
-queries.  This example walks through that split with the JSON index store:
+writes the engine state; the interactive design tool only loads it and answers
+queries.  This example walks through that split with the first-class
+persistence of the engine API:
 
 1. generate a COMPAS-like candidate pool and state the paper's default FM1
    constraint (at most "dataset share + 10%" African-American in the top 30%);
-2. run the approximate preprocessing pipeline and save the index (with the
-   dataset snapshot embedded) to ``fair_ranking_index.json``;
-3. pretend to be the online service: load the index from disk and answer a few
-   weight proposals without redoing any preprocessing.
+2. run the approximate preprocessing pipeline behind a
+   :class:`~repro.core.engine.ApproxConfig`-configured designer and persist it
+   with ``designer.save(path)`` — config, index and preprocessing dataset all
+   travel in one JSON file;
+3. pretend to be the online service: ``FairRankingDesigner.load(path, oracle)``
+   and answer a whole batch of weight proposals through ``suggest_many``
+   without redoing any preprocessing — with answers identical to the
+   pre-save designer's.
 
 Run with::
 
@@ -24,67 +29,73 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro import FairRankingDesigner, load_index, save_index
+from repro import ApproxConfig, FairRankingDesigner
 from repro.data import make_compas_like
 from repro.fairness import ProportionalOracle
-from repro.ranking import LinearScoringFunction
 
 
-def build_and_save(path: Path) -> None:
-    """The batch side: preprocess the candidate pool and persist the index."""
+def _oracle(dataset) -> ProportionalOracle:
+    return ProportionalOracle.at_most_share_plus_slack(
+        dataset, "race", "African-American", k=0.3, slack=0.10
+    )
+
+
+def build_and_save(path: Path) -> list:
+    """The batch side: preprocess the candidate pool and persist the engine."""
     dataset = make_compas_like(n=400, seed=0).project(
         ["c_days_from_compas", "juv_other_count", "start"]
     )
-    oracle = ProportionalOracle.at_most_share_plus_slack(
-        dataset, "race", "African-American", k=0.3, slack=0.10
-    )
     designer = FairRankingDesigner(
-        dataset, oracle, n_cells=256, max_hyperplanes=150
+        dataset, _oracle(dataset), ApproxConfig(n_cells=256, max_hyperplanes=150)
     )
     started = time.perf_counter()
     designer.preprocess()
     elapsed = time.perf_counter() - started
-    save_index(designer.index, path, include_dataset=True)
+    designer.save(path)
     print(f"offline: preprocessed {dataset.n_items} items in {elapsed:.1f}s")
-    print(f"offline: index written to {path} ({path.stat().st_size / 1024:.0f} KiB)")
-
-
-def serve_queries(path: Path) -> None:
-    """The online side: load the index and answer proposals interactively."""
-    dataset = make_compas_like(n=400, seed=0).project(
-        ["c_days_from_compas", "juv_other_count", "start"]
-    )
-    oracle = ProportionalOracle.at_most_share_plus_slack(
-        dataset, "race", "African-American", k=0.3, slack=0.10
-    )
-    index = load_index(path, oracle=oracle)
-    print(f"\nonline: loaded index with {index.n_cells} cells "
-          f"(error bound {index.approximation_bound():.3f} rad)")
-
+    print(f"offline: engine written to {path} ({path.stat().st_size / 1024:.0f} KiB)")
     proposals = [
         [0.34, 0.33, 0.33],
         [0.70, 0.20, 0.10],
         [0.10, 0.10, 0.80],
     ]
-    for weights in proposals:
-        started = time.perf_counter()
-        answer = index.query(LinearScoringFunction(tuple(weights)))
-        elapsed_ms = (time.perf_counter() - started) * 1e3
+    return [proposals, designer.suggest_many(proposals)]
+
+
+def serve_queries(path: Path, proposals, reference) -> None:
+    """The online side: load the engine and answer the batch interactively."""
+    # Only the oracle has to be reconstructed — the engine file carries the
+    # configuration, the offline index, and the preprocessing dataset.
+    probe = make_compas_like(n=400, seed=0).project(
+        ["c_days_from_compas", "juv_other_count", "start"]
+    )
+    designer = FairRankingDesigner.load(path, _oracle(probe))
+    print(
+        f"\nonline: loaded {designer.mode!r} engine with {designer.index.n_cells} cells "
+        f"(error bound {designer.index.approximation_bound():.3f} rad)"
+    )
+
+    started = time.perf_counter()
+    answers = designer.suggest_many(proposals)
+    elapsed_ms = (time.perf_counter() - started) * 1e3
+    for weights, answer in zip(proposals, answers):
         if answer.satisfactory:
-            print(f"  {weights} is already fair ({elapsed_ms:.2f} ms)")
+            print(f"  {weights} is already fair")
         else:
             suggested = [round(value, 3) for value in answer.function.weights]
             print(
                 f"  {weights} violates the constraint; closest fair weights {suggested} "
-                f"(distance {answer.angular_distance:.3f} rad, {elapsed_ms:.2f} ms)"
+                f"(distance {answer.angular_distance:.3f} rad)"
             )
+    print(f"  batch of {len(proposals)} answered in {elapsed_ms:.2f} ms")
+    print(f"  identical to the pre-save answers: {answers == reference}")
 
 
 def main() -> None:
     with tempfile.TemporaryDirectory() as directory:
-        path = Path(directory) / "fair_ranking_index.json"
-        build_and_save(path)
-        serve_queries(path)
+        path = Path(directory) / "fair_ranking_engine.json"
+        proposals, reference = build_and_save(path)
+        serve_queries(path, proposals, reference)
 
 
 if __name__ == "__main__":

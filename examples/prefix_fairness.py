@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FairRankingDesigner
+from repro import FairRankingDesigner, TwoDConfig
 from repro.data import make_admissions_like
 from repro.exceptions import NoSatisfactoryFunctionError
 from repro.fairness import PrefixProportionalOracle, ProportionalOracle
@@ -52,9 +52,7 @@ def main() -> None:
     )
 
     for name, oracle in (("FM1 (top-k only)", fm1), ("ranked group fairness", prefix)):
-        designer = FairRankingDesigner(
-            dataset, oracle, n_cells=256, max_hyperplanes=150
-        ).preprocess()
+        designer = FairRankingDesigner(dataset, oracle, TwoDConfig()).preprocess()
         try:
             answer = designer.suggest(query)
         except NoSatisfactoryFunctionError:

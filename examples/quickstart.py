@@ -12,7 +12,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FairRankingDesigner, LinearScoringFunction, ProportionalOracle
+from repro import FairRankingDesigner, LinearScoringFunction, ProportionalOracle, TwoDConfig
 from repro.data import make_compas_like
 from repro.fairness import group_share_at_k
 
@@ -34,7 +34,9 @@ def main() -> None:
     print(f"constraint: {oracle.describe()}")
 
     # 3. Offline preprocessing: index the satisfactory regions of weight space.
-    designer = FairRankingDesigner(dataset, oracle).preprocess()
+    #    (TwoDConfig selects the exact §3 ray-sweep pipeline; omitting the
+    #    config auto-picks it for two scoring attributes.)
+    designer = FairRankingDesigner(dataset, oracle, TwoDConfig()).preprocess()
 
     # 4. Online: propose weights; accept them or take the suggested repair.
     proposal = LinearScoringFunction((0.7, 0.3))

@@ -19,7 +19,13 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FairRankingDesigner, LinearScoringFunction, MultiAttributeOracle, ProportionalOracle
+from repro import (
+    ApproxConfig,
+    FairRankingDesigner,
+    LinearScoringFunction,
+    MultiAttributeOracle,
+    ProportionalOracle,
+)
 from repro.data import make_compas_like
 from repro.fairness import group_share_at_k
 from repro.ranking import random_queries
@@ -37,7 +43,7 @@ def main() -> None:
         dataset, "race", "African-American", k=0.30, slack=0.10
     )
     designer = FairRankingDesigner(
-        dataset, fm1, n_cells=256, max_hyperplanes=120
+        dataset, fm1, ApproxConfig(n_cells=256, max_hyperplanes=120)
     ).preprocess()
     print(f"FM1 constraint: {fm1.describe()}")
     print(f"approximation bound (Theorem 6): {designer.index.approximation_bound():.4f} rad")
@@ -82,7 +88,7 @@ def main() -> None:
         slack=0.10,
     )
     fm2_designer = FairRankingDesigner(
-        dataset, fm2, n_cells=256, max_hyperplanes=120
+        dataset, fm2, ApproxConfig(n_cells=256, max_hyperplanes=120)
     ).preprocess()
     fm2_result = fm2_designer.suggest(proposal)
     print(f"\nFM2 constraint: {fm2.describe()}")

@@ -9,27 +9,39 @@ it answers queries in sub-millisecond time.
 
 Typical use::
 
-    from repro import FairRankingDesigner, ProportionalOracle
+    from repro import ApproxConfig, FairRankingDesigner, ProportionalOracle
     from repro.data import make_compas_like
 
     dataset = make_compas_like(n=1000).project(
         ["c_days_from_compas", "juv_other_count", "start"])
     oracle = ProportionalOracle.at_most_share_plus_slack(
         dataset, "race", "African-American", k=0.3, slack=0.10)
-    designer = FairRankingDesigner(dataset, oracle, n_cells=4096).preprocess()
+    designer = FairRankingDesigner(
+        dataset, oracle, ApproxConfig(n_cells=4096)).preprocess()
     result = designer.suggest([0.5, 0.3, 0.2])
+    batch = designer.suggest_many([[0.5, 0.3, 0.2], [0.2, 0.4, 0.4]])
+
+Preprocessed designers persist with ``designer.save(path)`` and come back with
+``FairRankingDesigner.load(path, oracle)``, answering bit-identically without
+re-preprocessing (see :mod:`repro.core.engine` for the engine protocol).
 """
 
 from repro.core import (
+    ApproxConfig,
     ApproximatePreprocessor,
     DesignSession,
+    ExactConfig,
     FairRankingDesigner,
     MDApproxIndex,
     MDExactIndex,
+    QueryEngine,
     SatRegions,
     SuggestionResult,
+    TwoDConfig,
     TwoDIndex,
     TwoDRaySweep,
+    available_engines,
+    get_engine,
 )
 from repro.data import Dataset
 from repro.exceptions import (
@@ -50,7 +62,7 @@ from repro.fairness import (
     ProportionalOracle,
     TopKGroupBoundOracle,
 )
-from repro.io import load_index, save_index
+from repro.io import load_engine, load_index, save_engine, save_index
 from repro.ranking import LinearScoringFunction
 
 __version__ = "1.1.0"
@@ -68,8 +80,16 @@ __all__ = [
     "FairRankingDesigner",
     "DesignSession",
     "SuggestionResult",
+    "QueryEngine",
+    "TwoDConfig",
+    "ExactConfig",
+    "ApproxConfig",
+    "available_engines",
+    "get_engine",
     "save_index",
     "load_index",
+    "save_engine",
+    "load_engine",
     "TwoDRaySweep",
     "TwoDIndex",
     "SatRegions",

@@ -23,6 +23,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.core.engine import ApproxConfig, TwoDConfig
 from repro.core.explain import explain_repair, format_explanation
 from repro.core.system import FairRankingDesigner
 from repro.data.dataset import Dataset
@@ -70,7 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     suggest.add_argument("--n-cells", type=int, default=1024)
     suggest.add_argument("--max-hyperplanes", type=int, default=None)
     suggest.add_argument(
-        "--weights", required=True, help="comma-separated non-negative weights, e.g. 0.5,0.3,0.2"
+        "--weights", help="comma-separated non-negative weights, e.g. 0.5,0.3,0.2"
+    )
+    suggest.add_argument(
+        "--weights-file",
+        help="file with one comma-separated weight vector per line, "
+        "answered as one batch via suggest_many",
+    )
+    suggest.add_argument(
+        "--save-index",
+        metavar="PATH",
+        help="persist the preprocessed engine (config + index + sample) to PATH",
+    )
+    suggest.add_argument(
+        "--load-index",
+        metavar="PATH",
+        help="answer from an engine file written by --save-index instead of preprocessing",
     )
     suggest.add_argument(
         "--explain",
@@ -120,10 +136,25 @@ def _load_dataset(args: argparse.Namespace) -> Dataset:
     return make_dot_like(n=args.n, seed=args.seed)
 
 
+def _format_result(result, prefix: str = "") -> None:
+    if result.satisfactory:
+        print(f"{prefix}The proposed weights already satisfy the fairness constraint.")
+    else:
+        suggested = ", ".join(f"{value:.4f}" for value in result.function.weights)
+        print(f"{prefix}The proposed weights violate the fairness constraint.")
+        print(f"{prefix}Closest satisfactory weights: [{suggested}]")
+        print(
+            f"{prefix}Angular distance: {result.angular_distance:.4f} rad "
+            f"(cosine similarity {result.cosine_similarity():.4f})"
+        )
+
+
 def _run_suggest(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args)
     if args.max_share is None and args.min_share is None:
         print("error: provide --max-share and/or --min-share", file=sys.stderr)
+        return 2
+    if args.weights is None and args.weights_file is None:
+        print("error: provide --weights and/or --weights-file", file=sys.stderr)
         return 2
     k = args.k if args.k < 1 else int(args.k)
     oracle = ProportionalOracle(
@@ -133,27 +164,50 @@ def _run_suggest(args: argparse.Namespace) -> int:
         min_fraction=args.min_share,
         max_fraction=args.max_share,
     )
-    weights = [float(value) for value in args.weights.split(",")]
-    designer = FairRankingDesigner(
-        dataset,
-        oracle,
-        n_cells=args.n_cells,
-        max_hyperplanes=args.max_hyperplanes,
-    ).preprocess()
-    result = designer.suggest(weights)
-    if result.satisfactory:
-        print("The proposed weights already satisfy the fairness constraint.")
+    if args.load_index:
+        # Serve from a persisted engine: no dataset load, no preprocessing.
+        designer = FairRankingDesigner.load(args.load_index, oracle)
+        dataset = designer.dataset
     else:
-        suggested = ", ".join(f"{value:.4f}" for value in result.function.weights)
-        print("The proposed weights violate the fairness constraint.")
-        print(f"Closest satisfactory weights: [{suggested}]")
-        print(
-            f"Angular distance: {result.angular_distance:.4f} rad "
-            f"(cosine similarity {result.cosine_similarity():.4f})"
-        )
-    if getattr(args, "explain", False):
-        print()
-        print(format_explanation(explain_repair(dataset, result, k=k)))
+        dataset = _load_dataset(args)
+        if dataset.n_attributes == 2:
+            config = TwoDConfig()
+        else:
+            config = ApproxConfig(n_cells=args.n_cells, max_hyperplanes=args.max_hyperplanes)
+        designer = FairRankingDesigner(dataset, oracle, config).preprocess()
+    if args.save_index:
+        designer.save(args.save_index)
+        print(f"engine saved to {args.save_index}")
+    if args.weights is not None:
+        weights = [float(value) for value in args.weights.split(",")]
+        result = designer.suggest(weights)
+        _format_result(result)
+        if getattr(args, "explain", False):
+            print()
+            print(format_explanation(explain_repair(dataset, result, k=k)))
+    if args.weights_file is not None:
+        with open(args.weights_file, "r", encoding="utf-8") as handle:
+            lines = [line.strip() for line in handle]
+        batch = [
+            [float(value) for value in line.split(",")] for line in lines if line
+        ]
+        if not batch:
+            print("error: the weights file contains no weight vectors", file=sys.stderr)
+            return 2
+        results = designer.suggest_many(batch)
+        for weights, result in zip(batch, results):
+            formatted = ", ".join(f"{value:g}" for value in weights)
+            if result.satisfactory:
+                print(f"[{formatted}] -> already fair")
+            else:
+                suggested = ", ".join(f"{value:.4f}" for value in result.function.weights)
+                print(
+                    f"[{formatted}] -> [{suggested}] "
+                    f"(distance {result.angular_distance:.4f} rad)"
+                )
+            if getattr(args, "explain", False):
+                print(format_explanation(explain_repair(dataset, result, k=k)))
+                print()
     return 0
 
 

@@ -7,6 +7,21 @@ from repro.core.approx import (
     md_online,
     md_online_lookup,
 )
+from repro.core.engine import (
+    ApproxConfig,
+    ApproxEngine,
+    EngineCapabilities,
+    ExactConfig,
+    ExactEngine,
+    QueryEngine,
+    TwoDConfig,
+    TwoDEngine,
+    available_engines,
+    create_engine,
+    engine_from_payload,
+    get_engine,
+    register_engine,
+)
 from repro.core.explain import (
     RepairExplanation,
     TopKDelta,
@@ -31,6 +46,19 @@ from repro.core.system import FairRankingDesigner
 from repro.core.two_dim import AngularInterval, TwoDIndex, TwoDRaySweep, two_d_online
 
 __all__ = [
+    "QueryEngine",
+    "EngineCapabilities",
+    "TwoDConfig",
+    "ExactConfig",
+    "ApproxConfig",
+    "TwoDEngine",
+    "ExactEngine",
+    "ApproxEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+    "create_engine",
+    "engine_from_payload",
     "SuggestionResult",
     "AngularInterval",
     "TwoDIndex",

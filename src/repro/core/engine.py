@@ -1,0 +1,570 @@
+"""The unified query-engine API: pluggable pipelines behind one protocol.
+
+The paper's system is an offline-preprocess / online-serve split: preprocess a
+dataset against a fairness oracle once, then answer CLOSEST SATISFACTORY
+FUNCTION queries in interactive time.  Each of the three pipelines implements
+that split differently (§3 ray sweep in 2-D, §4 ``SATREGIONS`` exactly in any
+dimension, §5 grid approximation), but a serving system should not care which
+one is behind a query.  This module gives every pipeline the same shape:
+
+* a typed configuration dataclass (:class:`TwoDConfig`, :class:`ExactConfig`,
+  :class:`ApproxConfig`) instead of a grab-bag of keyword arguments;
+* a :class:`QueryEngine` with ``preprocess`` / ``suggest`` / ``suggest_many``
+  / ``capabilities`` and ``to_payload`` / ``from_payload`` persistence hooks;
+* a registry keyed by engine name, so facades (and later shards / async
+  servers) dispatch on data instead of ``isinstance`` checks.
+
+``suggest_many`` is the batch entry point for serving-shaped workloads: the
+2-D engine classifies a whole weight matrix with one ``searchsorted`` over the
+cached interval-start array, and the approximate engine locates all
+unsatisfactory queries' cells in vectorised chunks.  Both return exactly what
+a Python loop over ``suggest`` would — same objects, bit-identical numbers —
+so batching is a pure throughput optimisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from dataclasses import asdict, dataclass, fields
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.approx import ApproximatePreprocessor, MDApproxIndex, md_online
+from repro.core.multi_dim import MDExactIndex, SatRegions, md_baseline
+from repro.core.result import SuggestionResult
+from repro.core.two_dim import TwoDIndex, TwoDRaySweep
+from repro.data.dataset import Dataset
+from repro.exceptions import (
+    ConfigurationError,
+    NoSatisfactoryFunctionError,
+    NotPreprocessedError,
+)
+from repro.fairness.oracle import FairnessOracle
+from repro.geometry.angles import angular_distance_angles, to_angles, to_weights
+from repro.geometry.partition import locate_cells
+from repro.ranking.scoring import LinearScoringFunction
+
+__all__ = [
+    "TwoDConfig",
+    "ExactConfig",
+    "ApproxConfig",
+    "EngineCapabilities",
+    "QueryEngine",
+    "TwoDEngine",
+    "ExactEngine",
+    "ApproxEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+    "engine_name_for_config",
+    "create_engine",
+    "engine_from_payload",
+    "ENGINE_FORMAT",
+]
+
+#: Schema identifier written into every serialised engine payload.
+ENGINE_FORMAT = "repro.engine/v1"
+
+
+# --------------------------------------------------------------------------- #
+# typed per-pipeline configurations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TwoDConfig:
+    """Configuration of the 2-D ray-sweep pipeline (§3).
+
+    Attributes
+    ----------
+    sample_size:
+        If given, preprocessing runs on a uniform sample of this size (§5.4).
+    sample_seed:
+        Seed of the preprocessing sample draw.
+    use_incremental:
+        Maintain sector verdicts incrementally when the oracle supports the
+        incremental protocol (see :mod:`repro.fairness.incremental`).
+    """
+
+    sample_size: int | None = None
+    sample_seed: int = 0
+    use_incremental: bool = True
+
+
+@dataclass(frozen=True)
+class ExactConfig:
+    """Configuration of the exact ``SATREGIONS`` + ``MDBASELINE`` pipeline (§4)."""
+
+    max_hyperplanes: int | None = None
+    convex_layer_k: int | None = None
+    use_arrangement_tree: bool = True
+    sample_size: int | None = None
+    sample_seed: int = 0
+
+
+@dataclass(frozen=True)
+class ApproxConfig:
+    """Configuration of the approximate grid pipeline (§5).
+
+    ``partition`` is the name of a built-in partition backend (``"uniform"``
+    or ``"angle"``); power users who need a custom partition object can drive
+    :class:`~repro.core.approx.ApproximatePreprocessor` directly.
+    """
+
+    n_cells: int = 1024
+    partition: str = "uniform"
+    max_hyperplanes: int | None = None
+    convex_layer_k: int | None = None
+    sample_size: int | None = None
+    sample_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 1:
+            raise ConfigurationError("n_cells must be >= 1")
+        if self.partition not in ("uniform", "angle"):
+            raise ConfigurationError(
+                f"partition must be 'uniform' or 'angle', got {self.partition!r}"
+            )
+
+
+EngineConfig = TwoDConfig | ExactConfig | ApproxConfig
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What a pipeline can do, for dispatch and serving decisions.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the engine.
+    exact:
+        True when answers are exact (no Theorem 6 style approximation slack).
+    min_attributes, max_attributes:
+        Dataset dimensionalities the engine accepts (``None`` = unbounded).
+    batched:
+        True when ``suggest_many`` is natively batched rather than an
+        internal loop over ``suggest``.
+    persistable:
+        True when ``to_payload`` / ``from_payload`` round-trip the engine.
+    """
+
+    name: str
+    exact: bool
+    min_attributes: int
+    max_attributes: int | None
+    batched: bool
+    persistable: bool = True
+
+    def supports_dimension(self, n_attributes: int) -> bool:
+        """True if the engine can index a dataset with this many scoring attributes."""
+        if n_attributes < self.min_attributes:
+            return False
+        return self.max_attributes is None or n_attributes <= self.max_attributes
+
+
+# --------------------------------------------------------------------------- #
+# the engine protocol and registry
+# --------------------------------------------------------------------------- #
+@runtime_checkable
+class QueryEngine(Protocol):
+    """Protocol every registered pipeline engine implements."""
+
+    dataset: Dataset
+    oracle: FairnessOracle
+
+    def preprocess(self, dataset: Dataset | None = None, oracle: FairnessOracle | None = None):
+        """Run the offline phase; returns the engine for chaining."""
+
+    def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
+        """Answer one CLOSEST SATISFACTORY FUNCTION query."""
+
+    def suggest_many(self, weights_matrix: np.ndarray) -> list[SuggestionResult]:
+        """Answer a batch of queries, identically to looping :meth:`suggest`."""
+
+    def capabilities(self) -> EngineCapabilities:
+        """Static description of what the engine supports."""
+
+    def to_payload(self) -> dict:
+        """Serialise the preprocessed engine to a JSON-compatible payload."""
+
+    @classmethod
+    def from_payload(cls, payload: dict, oracle: FairnessOracle) -> "QueryEngine":
+        """Rebuild a preprocessed engine from :meth:`to_payload` output."""
+
+
+_ENGINE_REGISTRY: dict[str, type] = {}
+_CONFIG_TO_NAME: dict[type, str] = {}
+
+
+def register_engine(name: str, config_type: type):
+    """Class decorator registering an engine under ``name`` with its config type."""
+
+    def decorate(cls: type) -> type:
+        if name in _ENGINE_REGISTRY:
+            raise ConfigurationError(f"engine {name!r} is already registered")
+        cls.name = name
+        cls.config_type = config_type
+        _ENGINE_REGISTRY[name] = cls
+        _CONFIG_TO_NAME[config_type] = name
+        return cls
+
+    return decorate
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of all registered engines."""
+    return tuple(_ENGINE_REGISTRY)
+
+
+def get_engine(name: str) -> type:
+    """Look up an engine class by registry name."""
+    try:
+        return _ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown engine {name!r}; registered engines: {sorted(_ENGINE_REGISTRY)}"
+        ) from None
+
+
+def engine_name_for_config(config: EngineConfig) -> str:
+    """Map a typed config to the engine name it configures."""
+    try:
+        return _CONFIG_TO_NAME[type(config)]
+    except KeyError:
+        raise ConfigurationError(
+            f"{type(config).__name__} is not a registered engine configuration"
+        ) from None
+
+
+def create_engine(
+    dataset: Dataset, oracle: FairnessOracle, config: EngineConfig
+) -> "QueryEngine":
+    """Instantiate the engine a typed config selects, validating the dataset."""
+    return get_engine(engine_name_for_config(config))(dataset, oracle, config)
+
+
+def engine_from_payload(payload: dict, oracle: FairnessOracle) -> "QueryEngine":
+    """Rebuild a preprocessed engine from a serialised payload, dispatching on its name."""
+    if not isinstance(payload, dict) or payload.get("format") != ENGINE_FORMAT:
+        raise ConfigurationError(
+            f"payload is not a serialised engine (expected format {ENGINE_FORMAT!r})"
+        )
+    return get_engine(str(payload.get("engine"))).from_payload(payload, oracle)
+
+
+# --------------------------------------------------------------------------- #
+# shared engine machinery
+# --------------------------------------------------------------------------- #
+class _EngineBase:
+    """Common preprocess / batching / persistence scaffolding of the engines."""
+
+    name: str
+    config_type: type
+
+    def __init__(self, dataset: Dataset, oracle: FairnessOracle, config=None) -> None:
+        config = config if config is not None else self.config_type()
+        if not isinstance(config, self.config_type):
+            raise ConfigurationError(
+                f"{type(self).__name__} expects a {self.config_type.__name__}, "
+                f"got {type(config).__name__}"
+            )
+        capabilities = self.capabilities()
+        if not capabilities.supports_dimension(dataset.n_attributes):
+            bound = (
+                f"exactly {capabilities.min_attributes}"
+                if capabilities.max_attributes == capabilities.min_attributes
+                else f"at least {capabilities.min_attributes}"
+            )
+            raise ConfigurationError(
+                f"engine {capabilities.name!r} requires {bound} scoring attributes; "
+                f"the dataset has {dataset.n_attributes}"
+            )
+        self.dataset = dataset
+        self.oracle = oracle
+        self.config = config
+        self._index = None
+        self._preprocessing_dataset: Dataset | None = None
+
+    # -- offline phase ------------------------------------------------- #
+    def preprocess(self, dataset: Dataset | None = None, oracle: FairnessOracle | None = None):
+        """Run the offline phase (optionally rebinding dataset/oracle first)."""
+        if dataset is not None:
+            self.dataset = dataset
+        if oracle is not None:
+            self.oracle = oracle
+        working = self.dataset
+        sample_size = self.config.sample_size
+        if sample_size is not None and sample_size < working.n_items:
+            working = working.sample(sample_size, seed=self.config.sample_seed)
+        self._preprocessing_dataset = working
+        self._index = self._build_index(working)
+        return self
+
+    def _build_index(self, working: Dataset):
+        raise NotImplementedError
+
+    @property
+    def is_preprocessed(self) -> bool:
+        """True once :meth:`preprocess` has run (or the engine was loaded)."""
+        return self._index is not None
+
+    @property
+    def index(self):
+        """The underlying offline index (engine specific)."""
+        if self._index is None:
+            raise NotPreprocessedError("call preprocess() first")
+        return self._index
+
+    @property
+    def preprocessing_dataset(self) -> Dataset:
+        """The dataset the index was built on (the sample when sampling was used)."""
+        if self._preprocessing_dataset is None:
+            raise NotPreprocessedError("call preprocess() first")
+        return self._preprocessing_dataset
+
+    # -- online phase --------------------------------------------------- #
+    def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
+        raise NotImplementedError
+
+    def suggest_many(self, weights_matrix) -> list[SuggestionResult]:
+        """Fallback batch answering: a loop over :meth:`suggest`.
+
+        Engines with a native batched path override this; the loop is the
+        reference semantics every override must reproduce exactly.
+        """
+        matrix = self._as_matrix(weights_matrix)
+        return [
+            self.suggest(LinearScoringFunction(tuple(row))) for row in matrix.tolist()
+        ]
+
+    def _as_matrix(self, weights_matrix) -> np.ndarray:
+        matrix = np.asarray(weights_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != self.dataset.n_attributes:
+            raise ConfigurationError(
+                f"suggest_many expects a (q, {self.dataset.n_attributes}) weight matrix, "
+                f"got shape {matrix.shape}"
+            )
+        return matrix
+
+    # -- persistence ----------------------------------------------------- #
+    def to_payload(self) -> dict:
+        """Serialise config + index + preprocessing dataset to a JSON-compatible dict.
+
+        The preprocessing dataset (the sample, when sampling was used) is
+        embedded so a loaded engine answers bit-identically to the engine that
+        was saved — the exact pipeline re-orders it per query, and the
+        approximate pipeline re-checks queries against it.
+        """
+        from repro.io.dataset_json import dataset_to_dict
+
+        return {
+            "format": ENGINE_FORMAT,
+            "engine": self.name,
+            "config": asdict(self.config),
+            "index": self._index_to_dict(),
+            "preprocessing_dataset": dataset_to_dict(self.preprocessing_dataset),
+        }
+
+    def _index_to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @classmethod
+    def from_payload(cls, payload: dict, oracle: FairnessOracle):
+        """Rebuild a preprocessed engine from :meth:`to_payload` output."""
+        from repro.io.dataset_json import dataset_from_dict
+
+        if not isinstance(payload, dict) or payload.get("format") != ENGINE_FORMAT:
+            raise ConfigurationError(
+                f"payload is not a serialised engine (expected format {ENGINE_FORMAT!r})"
+            )
+        if payload.get("engine") != cls.name:
+            raise ConfigurationError(
+                f"payload holds a {payload.get('engine')!r} engine, expected {cls.name!r}"
+            )
+        known = {field.name for field in fields(cls.config_type)}
+        config = cls.config_type(
+            **{key: value for key, value in payload.get("config", {}).items() if key in known}
+        )
+        dataset = dataset_from_dict(payload["preprocessing_dataset"])
+        engine = cls(dataset, oracle, config)
+        engine._preprocessing_dataset = dataset
+        engine._index = engine._index_from_dict(payload["index"], dataset, oracle)
+        return engine
+
+    def _index_from_dict(self, payload: dict, dataset: Dataset, oracle: FairnessOracle):
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------- #
+# the three pipeline engines
+# --------------------------------------------------------------------------- #
+@register_engine("2d", TwoDConfig)
+class TwoDEngine(_EngineBase):
+    """The §3 pipeline: ``2DRAYSWEEP`` offline, ``2DONLINE`` online."""
+
+    def _build_index(self, working: Dataset) -> TwoDIndex:
+        return TwoDRaySweep(
+            working, self.oracle, use_incremental=self.config.use_incremental
+        ).run()
+
+    def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
+        return self.index.query(function)
+
+    def suggest_many(self, weights_matrix) -> list[SuggestionResult]:
+        """Batched ``2DONLINE``: one ``searchsorted`` classifies the whole batch."""
+        return self.index.query_many(self._as_matrix(weights_matrix))
+
+    @classmethod
+    def capabilities(cls) -> EngineCapabilities:
+        return EngineCapabilities(
+            name="2d", exact=True, min_attributes=2, max_attributes=2, batched=True
+        )
+
+    def _index_to_dict(self) -> dict:
+        from repro.io.index_store import two_d_index_to_dict
+
+        return two_d_index_to_dict(self.index)
+
+    def _index_from_dict(self, payload, dataset, oracle) -> TwoDIndex:
+        from repro.io.index_store import two_d_index_from_dict
+
+        return two_d_index_from_dict(payload)
+
+
+@register_engine("exact", ExactConfig)
+class ExactEngine(_EngineBase):
+    """The §4 pipeline: ``SATREGIONS`` offline, ``MDBASELINE`` online."""
+
+    def _build_index(self, working: Dataset) -> MDExactIndex:
+        return SatRegions(
+            working,
+            self.oracle,
+            use_arrangement_tree=self.config.use_arrangement_tree,
+            max_hyperplanes=self.config.max_hyperplanes,
+            convex_layer_k=self.config.convex_layer_k,
+        ).run()
+
+    def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
+        return md_baseline(self.preprocessing_dataset, self.oracle, self.index, function)
+
+    # suggest_many inherits the reference loop: each MDBASELINE answer solves
+    # one constrained minimisation per satisfactory region, so there is no
+    # shared work to batch — the per-query solves dominate end to end.
+
+    @classmethod
+    def capabilities(cls) -> EngineCapabilities:
+        return EngineCapabilities(
+            name="exact", exact=True, min_attributes=3, max_attributes=None, batched=False
+        )
+
+    def _index_to_dict(self) -> dict:
+        from repro.io.index_store import exact_index_to_dict
+
+        return exact_index_to_dict(self.index)
+
+    def _index_from_dict(self, payload, dataset, oracle) -> MDExactIndex:
+        from repro.io.index_store import exact_index_from_dict
+
+        return exact_index_from_dict(payload)
+
+
+@register_engine("approximate", ApproxConfig)
+class ApproxEngine(_EngineBase):
+    """The §5 grid pipeline: cell marking/colouring offline, ``MDONLINE`` online."""
+
+    #: Queries whose cells are located per vectorised batch in ``suggest_many``.
+    lookup_chunk_size = 1024
+
+    def _build_index(self, working: Dataset) -> MDApproxIndex:
+        return ApproximatePreprocessor(
+            working,
+            self.oracle,
+            n_cells=self.config.n_cells,
+            partition=self.config.partition,
+            max_hyperplanes=self.config.max_hyperplanes,
+            convex_layer_k=self.config.convex_layer_k,
+        ).run()
+
+    def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
+        return md_online(self.index, function)
+
+    def suggest_many(self, weights_matrix) -> list[SuggestionResult]:
+        """Batched ``MDONLINE``: per-query oracle pre-check, chunked cell lookups.
+
+        Line 1 of Algorithm 11 (is the query itself satisfactory?) is a
+        black-box oracle call and stays per query, exactly as ``md_online``
+        makes it.  The index part — locating each remaining query's cell — is
+        done in vectorised chunks over the partition instead of one Python
+        ``locate`` per query.  Results are bit-identical to looping
+        :meth:`suggest`.
+        """
+        matrix = self._as_matrix(weights_matrix)
+        index = self.index
+        if not index.assigned_angles:
+            raise NotPreprocessedError(
+                "run ApproximatePreprocessor before issuing online queries"
+            )
+        results: list[SuggestionResult | None] = [None] * matrix.shape[0]
+        pending: list[tuple[int, LinearScoringFunction, np.ndarray, float]] = []
+        for position, row in enumerate(matrix.tolist()):
+            function = LinearScoringFunction(tuple(row))
+            if index.oracle.evaluate_function(function, index.dataset):
+                results[position] = SuggestionResult(
+                    query=function, satisfactory=True, function=function, angular_distance=0.0
+                )
+            else:
+                weights = function.as_array()
+                pending.append(
+                    (position, function, to_angles(weights), float(np.linalg.norm(weights)))
+                )
+        if pending and not index.has_satisfactory_function:
+            raise NoSatisfactoryFunctionError(
+                "no scoring function satisfies the fairness constraint on this dataset"
+            )
+        # Hoisted once for the whole batch: the nearest-assigned fallback for
+        # queries landing in cells the colouring could not reach (only the
+        # per-query distances depend on the query, not this list).
+        assigned_candidates = [
+            angles for angles in index.assigned_angles if angles is not None
+        ]
+        chunk = self.lookup_chunk_size
+        for start in range(0, len(pending), chunk):
+            batch = pending[start : start + chunk]
+            angle_matrix = np.asarray([angles for _, _, angles, _ in batch], dtype=float)
+            cell_indices = locate_cells(index.partition, angle_matrix)
+            for (position, function, query_angles, radius), cell in zip(batch, cell_indices):
+                assigned = index.assigned_angles[int(cell)]
+                if assigned is None:
+                    # Same nearest-assigned fallback as md_online_lookup.
+                    candidates = [
+                        (angular_distance_angles(angles, query_angles), angles)
+                        for angles in assigned_candidates
+                    ]
+                    assigned = min(candidates, key=lambda pair: pair[0])[1]
+                suggestion = LinearScoringFunction(tuple(to_weights(assigned, radius=radius)))
+                results[position] = SuggestionResult(
+                    query=function,
+                    satisfactory=False,
+                    function=suggestion,
+                    angular_distance=angular_distance_angles(
+                        query_angles, np.asarray(assigned)
+                    ),
+                )
+        return results  # type: ignore[return-value]
+
+    @classmethod
+    def capabilities(cls) -> EngineCapabilities:
+        return EngineCapabilities(
+            name="approximate", exact=False, min_attributes=3, max_attributes=None, batched=True
+        )
+
+    def _index_to_dict(self) -> dict:
+        from repro.io.index_store import approx_index_to_dict
+
+        # The preprocessing dataset is stored once at the engine level; no
+        # need to embed a second copy inside the index payload.
+        return approx_index_to_dict(self.index, include_dataset=False)
+
+    def _index_from_dict(self, payload, dataset, oracle) -> MDApproxIndex:
+        from repro.io.index_store import approx_index_from_dict
+
+        return approx_index_from_dict(payload, oracle=oracle, dataset=dataset)

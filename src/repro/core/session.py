@@ -13,7 +13,7 @@ transcript, and serialised for audit trails.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Sequence
 
@@ -110,12 +110,13 @@ class DesignSession:
     --------
     >>> from repro.data import make_compas_like
     >>> from repro.fairness import ProportionalOracle
-    >>> from repro import FairRankingDesigner
+    >>> from repro import ApproxConfig, FairRankingDesigner
     >>> dataset = make_compas_like(n=150, seed=3).project(
     ...     ["c_days_from_compas", "juv_other_count", "start"])
     >>> oracle = ProportionalOracle.at_most_share_plus_slack(
     ...     dataset, "race", "African-American", k=0.3, slack=0.10)
-    >>> session = DesignSession(FairRankingDesigner(dataset, oracle, n_cells=64))
+    >>> session = DesignSession(
+    ...     FairRankingDesigner(dataset, oracle, ApproxConfig(n_cells=64)))
     >>> record = session.propose([0.4, 0.3, 0.3], note="first guess")
     >>> session.accept()
     >>> session.summary().n_proposals
@@ -141,6 +142,25 @@ class DesignSession:
         record = ProposalRecord(step=len(self._records) + 1, result=result, note=note)
         self._records.append(record)
         return record
+
+    def propose_many(self, weights_matrix, note: str = "") -> list[ProposalRecord]:
+        """Submit a batch of proposals (one row per weight vector) in one step.
+
+        The batch is answered through the designer's
+        :meth:`~repro.core.system.FairRankingDesigner.suggest_many` — the
+        engines' batched path — and each answer is recorded as its own
+        sequentially numbered proposal, exactly as if :meth:`propose` had been
+        called per row.
+        """
+        results = self.designer.suggest_many(weights_matrix)
+        records = []
+        for result in results:
+            record = ProposalRecord(
+                step=len(self._records) + 1, result=result, note=note
+            )
+            self._records.append(record)
+            records.append(record)
+        return records
 
     def accept(self, step: int | None = None) -> ProposalRecord:
         """Mark a step's outcome as the accepted final function.
@@ -243,7 +263,10 @@ class DesignSession:
         summary = self.summary()
         return {
             "oracle": self.designer.oracle.describe(),
+            # "mode" is the engine's registry name; kept under its historical
+            # key so pre-engine session consumers keep working.
             "mode": self.designer.mode,
+            "config": asdict(self.designer.config),
             "records": [record.as_dict() for record in self._records],
             "summary": {
                 "n_proposals": summary.n_proposals,

@@ -3,33 +3,91 @@
 The paper describes a *query answering system*: the user hands it a dataset
 and a fairness oracle, the system preprocesses offline, and then every
 proposed weight vector is answered in interactive time with either "already
-fair" or the closest satisfactory alternative.  ``FairRankingDesigner`` wires
-the right pipeline for the dataset dimensionality and chosen mode:
+fair" or the closest satisfactory alternative.  ``FairRankingDesigner`` is a
+thin facade over the engine registry of :mod:`repro.core.engine`: each
+pipeline is a registered :class:`~repro.core.engine.QueryEngine` selected by a
+typed configuration dataclass —
 
-* ``mode="2d"`` — the exact §3 pipeline (only for two scoring attributes);
-* ``mode="exact"`` — ``SATREGIONS`` + ``MDBASELINE`` (§4), exact but slower;
-* ``mode="approximate"`` — the §5 grid pipeline with the Theorem 6 guarantee
-  (the default for three or more attributes).
+* :class:`~repro.core.engine.TwoDConfig` — the exact §3 pipeline (only for
+  two scoring attributes);
+* :class:`~repro.core.engine.ExactConfig` — ``SATREGIONS`` + ``MDBASELINE``
+  (§4), exact but slower;
+* :class:`~repro.core.engine.ApproxConfig` — the §5 grid pipeline with the
+  Theorem 6 guarantee (the default for three or more attributes).
+
+With no config, the designer auto-picks the 2-D pipeline for two attributes
+and the approximate pipeline otherwise.  The pre-engine keyword arguments
+(``mode=...``, ``n_cells=...``, ...) still work but emit a
+``DeprecationWarning``; pass a config dataclass instead.  Batch queries go
+through :meth:`FairRankingDesigner.suggest_many`, and a preprocessed designer
+round-trips through :meth:`FairRankingDesigner.save` /
+:meth:`FairRankingDesigner.load` without redoing any preprocessing.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.approx import ApproximatePreprocessor, MDApproxIndex, md_online
-from repro.core.multi_dim import MDExactIndex, SatRegions, md_baseline
+from repro.core.engine import (
+    ApproxConfig,
+    EngineCapabilities,
+    ExactConfig,
+    QueryEngine,
+    TwoDConfig,
+    create_engine,
+)
 from repro.core.result import SuggestionResult
-from repro.core.two_dim import TwoDIndex, TwoDRaySweep
 from repro.data.dataset import Dataset
-from repro.exceptions import ConfigurationError, NotPreprocessedError
+from repro.exceptions import ConfigurationError
 from repro.fairness.oracle import FairnessOracle
 from repro.ranking.scoring import LinearScoringFunction
 
 __all__ = ["FairRankingDesigner"]
 
 _MODES = ("auto", "2d", "exact", "approximate")
+
+#: Defaults of the deprecated keyword constructor, kept for the shim.
+_LEGACY_DEFAULTS = {
+    "mode": "auto",
+    "n_cells": 1024,
+    "partition": "uniform",
+    "sample_size": None,
+    "max_hyperplanes": None,
+    "convex_layer_k": None,
+}
+
+_SENTINEL = object()
+
+
+def _config_from_legacy(dataset: Dataset, legacy: dict):
+    """Translate the deprecated keyword arguments into a typed engine config."""
+    mode = legacy["mode"]
+    if mode not in _MODES:
+        raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
+    if mode == "2d" and dataset.n_attributes != 2:
+        raise ConfigurationError("mode='2d' requires exactly two scoring attributes")
+    if mode in ("exact", "approximate") and dataset.n_attributes < 3:
+        raise ConfigurationError(f"mode={mode!r} requires at least three scoring attributes")
+    if mode == "auto":
+        mode = "2d" if dataset.n_attributes == 2 else "approximate"
+    if mode == "2d":
+        return TwoDConfig(sample_size=legacy["sample_size"])
+    if mode == "exact":
+        return ExactConfig(
+            max_hyperplanes=legacy["max_hyperplanes"],
+            convex_layer_k=legacy["convex_layer_k"],
+            sample_size=legacy["sample_size"],
+        )
+    return ApproxConfig(
+        n_cells=legacy["n_cells"],
+        partition=legacy["partition"],
+        max_hyperplanes=legacy["max_hyperplanes"],
+        convex_layer_k=legacy["convex_layer_k"],
+        sample_size=legacy["sample_size"],
+    )
 
 
 class FairRankingDesigner:
@@ -41,27 +99,26 @@ class FairRankingDesigner:
         The dataset to be ranked.
     oracle:
         The fairness oracle that decides which orderings are acceptable.
-    mode:
-        ``"auto"`` (default) picks ``"2d"`` for two scoring attributes and
-        ``"approximate"`` otherwise; the other values force a pipeline.
-    n_cells:
-        Number of grid cells for the approximate pipeline.
-    partition:
-        ``"uniform"`` or ``"angle"`` grid for the approximate pipeline.
-    sample_size:
-        If given, preprocessing runs on a uniform sample of this size (§5.4).
-    max_hyperplanes, convex_layer_k:
-        Passed through to the underlying pipeline (see their documentation).
+    config:
+        A typed engine configuration (:class:`~repro.core.engine.TwoDConfig`,
+        :class:`~repro.core.engine.ExactConfig` or
+        :class:`~repro.core.engine.ApproxConfig`).  Omitted, the designer
+        auto-picks the 2-D pipeline for two scoring attributes and the
+        approximate pipeline otherwise, with default settings.
+    mode, n_cells, partition, sample_size, max_hyperplanes, convex_layer_k:
+        Deprecated keyword configuration; still honoured (translated to the
+        equivalent config dataclass) but emits a ``DeprecationWarning``.
 
     Examples
     --------
+    >>> from repro.core.engine import ApproxConfig
     >>> from repro.data import make_compas_like
     >>> from repro.fairness import ProportionalOracle
     >>> dataset = make_compas_like(n=200, seed=1).project(
     ...     ["c_days_from_compas", "juv_other_count", "start"])
     >>> oracle = ProportionalOracle.at_most_share_plus_slack(
     ...     dataset, "race", "African-American", k=0.3, slack=0.10)
-    >>> designer = FairRankingDesigner(dataset, oracle, n_cells=256)
+    >>> designer = FairRankingDesigner(dataset, oracle, ApproxConfig(n_cells=256))
     >>> _ = designer.preprocess()
     >>> result = designer.suggest([0.4, 0.3, 0.3])
     >>> result.function.dimension
@@ -72,73 +129,133 @@ class FairRankingDesigner:
         self,
         dataset: Dataset,
         oracle: FairnessOracle,
-        mode: str = "auto",
-        n_cells: int = 1024,
-        partition: str = "uniform",
-        sample_size: int | None = None,
-        max_hyperplanes: int | None = None,
-        convex_layer_k: int | None = None,
+        config: TwoDConfig | ExactConfig | ApproxConfig | None = None,
+        *,
+        mode=_SENTINEL,
+        n_cells=_SENTINEL,
+        partition=_SENTINEL,
+        sample_size=_SENTINEL,
+        max_hyperplanes=_SENTINEL,
+        convex_layer_k=_SENTINEL,
     ) -> None:
-        if mode not in _MODES:
-            raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
-        if mode == "2d" and dataset.n_attributes != 2:
-            raise ConfigurationError("mode='2d' requires exactly two scoring attributes")
-        if mode in ("exact", "approximate") and dataset.n_attributes < 3:
-            raise ConfigurationError(f"mode={mode!r} requires at least three scoring attributes")
-        if mode == "auto":
-            mode = "2d" if dataset.n_attributes == 2 else "approximate"
-        self.dataset = dataset
-        self.oracle = oracle
-        self.mode = mode
-        self.n_cells = n_cells
-        self.partition = partition
-        self.sample_size = sample_size
-        self.max_hyperplanes = max_hyperplanes
-        self.convex_layer_k = convex_layer_k
-        self._index: TwoDIndex | MDExactIndex | MDApproxIndex | None = None
-        self._preprocessing_dataset: Dataset | None = None
+        legacy_given = {
+            name: value
+            for name, value in {
+                "mode": mode,
+                "n_cells": n_cells,
+                "partition": partition,
+                "sample_size": sample_size,
+                "max_hyperplanes": max_hyperplanes,
+                "convex_layer_k": convex_layer_k,
+            }.items()
+            if value is not _SENTINEL
+        }
+        if isinstance(config, str):
+            # Pre-engine code could pass mode as the third positional
+            # argument; route it through the same deprecation shim the
+            # keyword form uses.
+            if "mode" in legacy_given:
+                raise ConfigurationError("mode was given both positionally and by keyword")
+            legacy_given["mode"] = config
+            config = None
+        if config is not None and legacy_given:
+            raise ConfigurationError(
+                "pass either a config dataclass or the deprecated keyword "
+                f"arguments, not both (got config and {sorted(legacy_given)})"
+            )
+        if config is None:
+            if legacy_given:
+                warnings.warn(
+                    "configuring FairRankingDesigner with keyword arguments "
+                    f"({', '.join(sorted(legacy_given))}) is deprecated; pass a "
+                    "TwoDConfig / ExactConfig / ApproxConfig instead",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            config = _config_from_legacy(dataset, {**_LEGACY_DEFAULTS, **legacy_given})
+        self._engine: QueryEngine = create_engine(dataset, oracle, config)
+
+    @classmethod
+    def _from_engine(cls, engine: QueryEngine) -> "FairRankingDesigner":
+        designer = cls.__new__(cls)
+        designer._engine = engine
+        return designer
+
+    # ------------------------------------------------------------------ #
+    # engine introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> QueryEngine:
+        """The underlying pipeline engine."""
+        return self._engine
+
+    @property
+    def config(self):
+        """The engine's typed configuration dataclass."""
+        return self._engine.config
+
+    @property
+    def mode(self) -> str:
+        """Registry name of the active engine (``"2d"``/``"exact"``/``"approximate"``)."""
+        return self._engine.name
+
+    def capabilities(self) -> EngineCapabilities:
+        """Capabilities of the active engine."""
+        return self._engine.capabilities()
+
+    @property
+    def dataset(self) -> Dataset:
+        """The dataset being ranked (after :meth:`load`, the restored preprocessing dataset)."""
+        return self._engine.dataset
+
+    @property
+    def oracle(self) -> FairnessOracle:
+        """The fairness oracle."""
+        return self._engine.oracle
+
+    # -- deprecated config attributes, kept so pre-engine call sites read -- #
+    @property
+    def n_cells(self) -> int | None:
+        """Grid size of the approximate pipeline (``None`` for other engines)."""
+        return getattr(self.config, "n_cells", None)
+
+    @property
+    def partition(self) -> str | None:
+        """Partition kind of the approximate pipeline (``None`` for other engines)."""
+        return getattr(self.config, "partition", None)
+
+    @property
+    def sample_size(self) -> int | None:
+        """Preprocessing sample size, if sampling was configured."""
+        return getattr(self.config, "sample_size", None)
+
+    @property
+    def max_hyperplanes(self) -> int | None:
+        """Exchange-hyperplane cap of the multi-dimensional pipelines."""
+        return getattr(self.config, "max_hyperplanes", None)
+
+    @property
+    def convex_layer_k(self) -> int | None:
+        """Convex-layer filter of the multi-dimensional pipelines."""
+        return getattr(self.config, "convex_layer_k", None)
 
     # ------------------------------------------------------------------ #
     # offline phase
     # ------------------------------------------------------------------ #
     def preprocess(self) -> "FairRankingDesigner":
         """Run the offline phase; returns ``self`` so calls can be chained."""
-        working = self.dataset
-        if self.sample_size is not None and self.sample_size < working.n_items:
-            working = working.sample(self.sample_size, seed=0)
-        self._preprocessing_dataset = working
-
-        if self.mode == "2d":
-            self._index = TwoDRaySweep(working, self.oracle).run()
-        elif self.mode == "exact":
-            self._index = SatRegions(
-                working,
-                self.oracle,
-                max_hyperplanes=self.max_hyperplanes,
-                convex_layer_k=self.convex_layer_k,
-            ).run()
-        else:
-            self._index = ApproximatePreprocessor(
-                working,
-                self.oracle,
-                n_cells=self.n_cells,
-                partition=self.partition,
-                max_hyperplanes=self.max_hyperplanes,
-                convex_layer_k=self.convex_layer_k,
-            ).run()
+        self._engine.preprocess()
         return self
 
     @property
     def is_preprocessed(self) -> bool:
-        """True once :meth:`preprocess` has run."""
-        return self._index is not None
+        """True once :meth:`preprocess` has run (or the designer was loaded)."""
+        return self._engine.is_preprocessed
 
     @property
-    def index(self) -> TwoDIndex | MDExactIndex | MDApproxIndex:
-        """The underlying offline index (mode specific)."""
-        if self._index is None:
-            raise NotPreprocessedError("call preprocess() first")
-        return self._index
+    def index(self):
+        """The underlying offline index (engine specific)."""
+        return self._engine.index
 
     # ------------------------------------------------------------------ #
     # online phase
@@ -150,17 +267,18 @@ class FairRankingDesigner:
 
     def suggest(self, weights: Sequence[float] | LinearScoringFunction) -> SuggestionResult:
         """Answer a CLOSEST SATISFACTORY FUNCTION query for the proposed weights."""
-        function = self._as_function(weights)
-        index = self.index
-        if self.mode == "2d":
-            assert isinstance(index, TwoDIndex)
-            return index.query(function)
-        if self.mode == "exact":
-            assert isinstance(index, MDExactIndex)
-            assert self._preprocessing_dataset is not None
-            return md_baseline(self._preprocessing_dataset, self.oracle, index, function)
-        assert isinstance(index, MDApproxIndex)
-        return md_online(index, function)
+        return self._engine.suggest(self._as_function(weights))
+
+    def suggest_many(self, weights_matrix) -> list[SuggestionResult]:
+        """Answer a batch of queries — one row of ``weights_matrix`` per query.
+
+        Returns exactly what ``[self.suggest(w) for w in weights_matrix]``
+        would, but through the engine's batched path: the 2-D engine
+        classifies the whole batch with one binary search over the cached
+        interval starts, and the approximate engine locates cells in
+        vectorised chunks.
+        """
+        return self._engine.suggest_many(weights_matrix)
 
     def _as_function(
         self, weights: Sequence[float] | LinearScoringFunction
@@ -175,3 +293,29 @@ class FairRankingDesigner:
                 f"{self.dataset.n_attributes} scoring attributes"
             )
         return function
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Write the preprocessed engine (config + index + sample) to a JSON file.
+
+        The file embeds the preprocessing dataset — the sample, when
+        ``sample_size`` was configured — so :meth:`load` answers queries
+        bit-identically to this designer without redoing any preprocessing.
+        """
+        from repro.io.index_store import save_engine
+
+        save_engine(self._engine, path)
+
+    @classmethod
+    def load(cls, path, oracle: FairnessOracle) -> "FairRankingDesigner":
+        """Rebuild a preprocessed designer from a :meth:`save` file.
+
+        The fairness oracle is not serialised (it can close over arbitrary
+        code), so the caller supplies it; the dataset restored from the file
+        is the preprocessing dataset the index was built on.
+        """
+        from repro.io.index_store import load_engine
+
+        return cls._from_engine(load_engine(path, oracle))

@@ -104,13 +104,20 @@ class TwoDIndex:
         if name == "intervals":
             value = tuple(value)
             starts = np.array([interval.start for interval in value], dtype=float)
+            ends = np.array([interval.end for interval in value], dtype=float)
             object.__setattr__(self, "_interval_starts", starts)
+            object.__setattr__(self, "_interval_ends", ends)
         object.__setattr__(self, name, value)
 
     @property
     def interval_starts(self) -> np.ndarray:
         """Sorted start angles of the satisfactory intervals (cached)."""
         return self._interval_starts
+
+    @property
+    def interval_ends(self) -> np.ndarray:
+        """End angles of the satisfactory intervals, aligned with :attr:`interval_starts`."""
+        return self._interval_ends
 
     @property
     def has_satisfactory_region(self) -> bool:
@@ -147,9 +154,13 @@ class TwoDIndex:
             )
         if function.dimension != 2:
             raise GeometryError("TwoDIndex answers 2-dimensional queries only")
+        # The radius is written as sqrt(x² + y²) rather than np.linalg.norm so
+        # the batched query_many path (which evaluates the same expression
+        # elementwise) produces bit-identical suggestions.
         weights = function.as_array()
-        radius = float(np.linalg.norm(weights))
-        angle = math.atan2(weights[1], weights[0])
+        w0, w1 = float(weights[0]), float(weights[1])
+        radius = math.sqrt(w0 * w0 + w1 * w1)
+        angle = math.atan2(w1, w0)
 
         position = int(np.searchsorted(self._interval_starts, angle, side="right"))
         candidates = [
@@ -186,6 +197,99 @@ class TwoDIndex:
             function=suggestion,
             angular_distance=abs(angle - best_angle),
         )
+
+    def query_many(self, weights_matrix) -> list[SuggestionResult]:
+        """Answer a batch of queries, identically to looping :meth:`query`.
+
+        The whole batch is classified with one ``searchsorted`` over the
+        cached start-angle array; the nearest interval of each unsatisfactory
+        query is then resolved with vectorised endpoint arithmetic (the
+        sorted, disjoint intervals make the scan in :meth:`query` equivalent
+        to comparing the two intervals adjacent to the insertion point).
+        Every floating-point step reproduces the scalar path exactly, so the
+        returned :class:`~repro.core.result.SuggestionResult` objects are
+        bit-identical to a Python loop over :meth:`query`.
+
+        Raises the same errors as :meth:`query` (empty index, wrong
+        dimensionality), checked once for the whole batch.
+        """
+        matrix = np.asarray(weights_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != 2:
+            raise GeometryError("query_many expects a (q, 2) weight matrix")
+        if self.oracle_calls == 0 and not self.intervals:
+            raise NotPreprocessedError("run TwoDRaySweep before issuing online queries")
+        if not self.intervals:
+            raise NoSatisfactoryFunctionError(
+                "no scoring function satisfies the fairness constraint on this dataset"
+            )
+        rows = matrix.tolist()
+        radii = np.sqrt(matrix[:, 0] * matrix[:, 0] + matrix[:, 1] * matrix[:, 1])
+        angles = np.array([math.atan2(row[1], row[0]) for row in rows], dtype=float)
+
+        starts = self._interval_starts
+        ends = self._interval_ends
+        n_intervals = len(starts)
+        positions = np.searchsorted(starts, angles, side="right")
+        has_left = positions > 0
+        has_right = positions < n_intervals
+        left = np.clip(positions - 1, 0, n_intervals - 1)
+        right = np.clip(positions, 0, n_intervals - 1)
+        tolerance = 1e-12
+        in_left = has_left & (angles >= starts[left] - tolerance) & (angles <= ends[left] + tolerance)
+        in_right = (
+            has_right & (angles >= starts[right] - tolerance) & (angles <= ends[right] + tolerance)
+        )
+        satisfied = in_left | in_right
+
+        # Nearest interval for the unsatisfied queries: ends (and starts) are
+        # increasing, so the closest candidates are the intervals adjacent to
+        # the insertion point; ties go left, matching min()'s first-wins scan.
+        distance_left = np.where(has_left, angles - ends[left], np.inf)
+        distance_right = np.where(has_right, starts[right] - angles, np.inf)
+        choose_left = distance_left <= distance_right
+        chosen = np.where(choose_left, left, right)
+        chosen_start = starts[chosen]
+        chosen_end = ends[chosen]
+        endpoint = np.where(choose_left, chosen_end, chosen_start)
+        nudge = np.minimum(1e-7, 0.25 * (chosen_end - chosen_start))
+        best = np.where(
+            endpoint == chosen_start,
+            endpoint + nudge,
+            np.where(endpoint == chosen_end, endpoint - nudge, endpoint),
+        )
+        distances = np.abs(angles - best)
+
+        # One vectorised validation pass covers the whole batch, so the
+        # result loop can use the trusted constructor; rows that would fail
+        # validation go through the normal constructor and raise exactly what
+        # the scalar path raises.
+        trusted = bool(
+            np.all(np.isfinite(matrix))
+            and not np.any(matrix < 0)
+            and np.all(np.any(matrix > 0, axis=1))
+        )
+        make_function = (
+            LinearScoringFunction._from_trusted if trusted else LinearScoringFunction
+        )
+        results: list[SuggestionResult] = []
+        satisfied_list = satisfied.tolist()
+        radii_list = radii.tolist()
+        best_list = best.tolist()
+        distance_list = distances.tolist()
+        append = results.append
+        result_type, cos, sin = SuggestionResult, math.cos, math.sin
+        for position, row in enumerate(rows):
+            function = make_function((row[0], row[1]))
+            if satisfied_list[position]:
+                append(result_type(function, True, function, 0.0))
+            else:
+                radius = radii_list[position]
+                best_angle = best_list[position]
+                suggestion = make_function(
+                    (radius * cos(best_angle), radius * sin(best_angle))
+                )
+                append(result_type(function, False, suggestion, distance_list[position]))
+        return results
 
 
 class TwoDRaySweep:

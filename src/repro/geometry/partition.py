@@ -41,6 +41,7 @@ __all__ = [
     "AnglePartition",
     "cell_gamma",
     "theorem6_bound",
+    "locate_cells",
 ]
 
 
@@ -199,6 +200,25 @@ class UniformGridPartition:
         )
         return self._flat_index(multi)
 
+    def locate_many(self, angle_matrix: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`locate` for a ``(q, dimension)`` matrix of angle vectors.
+
+        Row ``i`` of the result equals ``locate(angle_matrix[i])`` exactly:
+        the per-axis clip/divide/truncate and the flat-index accumulation are
+        the same integer arithmetic, evaluated for the whole batch at once.
+        """
+        matrix = np.asarray(angle_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != self.dimension:
+            raise GeometryError("locate_many expects a (q, dimension) angle matrix")
+        if np.any(matrix < -1e-9) or np.any(matrix > HALF_PI + 1e-9):
+            raise GeometryError("angle vector outside the legal box [0, π/2]^k")
+        multi = np.minimum(
+            self.divisions - 1,
+            (np.clip(matrix, 0.0, HALF_PI) / self.step).astype(np.int64),
+        )
+        strides = self.divisions ** np.arange(self.dimension, dtype=np.int64)
+        return multi @ strides
+
     def neighbors(self, index: int) -> list[int]:
         """Indices of cells adjacent along any axis (face neighbours)."""
         multi = self._multi_index(index)
@@ -353,3 +373,19 @@ class AnglePartition:
     def max_cell_diameter(self) -> float:
         """Angular diameter bound: each axis contributes at most ``γ`` of arc."""
         return self.dimension * self.gamma
+
+
+def locate_cells(partition: AnglePartitionProtocol, angle_matrix: np.ndarray) -> np.ndarray:
+    """Locate every row of a ``(q, dimension)`` angle matrix in one call.
+
+    Uses the partition's vectorised ``locate_many`` when it has one (the
+    uniform grid), and falls back to a per-row :meth:`locate` loop otherwise —
+    either way row ``i`` equals ``partition.locate(angle_matrix[i])``.
+    """
+    locate_many = getattr(partition, "locate_many", None)
+    if locate_many is not None:
+        return np.asarray(locate_many(angle_matrix))
+    matrix = np.asarray(angle_matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] != partition.dimension:
+        raise GeometryError("locate_cells expects a (q, dimension) angle matrix")
+    return np.array([partition.locate(row) for row in matrix], dtype=np.int64)

@@ -20,7 +20,9 @@ from repro.io.index_store import (
     approx_index_to_dict,
     exact_index_from_dict,
     exact_index_to_dict,
+    load_engine,
     load_index,
+    save_engine,
     save_index,
     two_d_index_from_dict,
     two_d_index_to_dict,
@@ -39,4 +41,6 @@ __all__ = [
     "approx_index_from_dict",
     "save_index",
     "load_index",
+    "save_engine",
+    "load_engine",
 ]

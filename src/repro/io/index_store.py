@@ -44,6 +44,8 @@ __all__ = [
     "approx_index_from_dict",
     "save_index",
     "load_index",
+    "save_engine",
+    "load_engine",
 ]
 
 #: Schema identifier written into every serialised index.
@@ -327,6 +329,48 @@ def load_index(
             raise ConfigurationError("loading an approximate index requires a fairness oracle")
         return approx_index_from_dict(payload, oracle=oracle, dataset=dataset)
     raise ConfigurationError(f"{path} is not a serialised repro index (kind={kind!r})")
+
+
+# --------------------------------------------------------------------------- #
+# engine-level persistence ("preprocess once, serve many")
+# --------------------------------------------------------------------------- #
+def save_engine(engine, path: str | Path) -> None:
+    """Write a preprocessed :class:`~repro.core.engine.QueryEngine` to a JSON file.
+
+    The payload bundles the engine name, its typed configuration, the offline
+    index, and the preprocessing dataset (the sample when sampling was used),
+    so :func:`load_engine` restores an engine that answers queries
+    bit-identically without re-preprocessing.
+    """
+    Path(path).write_text(json.dumps(engine.to_payload()), encoding="utf-8")
+
+
+def load_engine(path: str | Path, oracle: FairnessOracle):
+    """Read an engine file, dispatching on the engine name stored inside it.
+
+    The fairness oracle is supplied by the caller (oracles are arbitrary code
+    and are never serialised).  Raises :class:`ConfigurationError` when the
+    file holds a bare index (see :func:`load_index`) or is not a serialised
+    engine at all.
+    """
+    # Imported lazily: repro.core.engine imports this module's serialisers
+    # inside its persistence hooks, so a module-level import would be cyclic.
+    from repro.core.engine import ENGINE_FORMAT, engine_from_payload
+
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path} does not contain valid JSON") from exc
+    if isinstance(payload, dict) and payload.get("format") == INDEX_FORMAT:
+        raise ConfigurationError(
+            f"{path} holds a bare index (format {INDEX_FORMAT!r}); use load_index() "
+            "for index files, or re-save through FairRankingDesigner.save()"
+        )
+    if not isinstance(payload, dict) or payload.get("format") != ENGINE_FORMAT:
+        raise ConfigurationError(
+            f"{path} is not a serialised engine (expected format {ENGINE_FORMAT!r})"
+        )
+    return engine_from_payload(payload, oracle)
 
 
 def _check_payload(payload: dict, expected_kind: str) -> None:

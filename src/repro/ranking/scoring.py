@@ -53,6 +53,21 @@ class LinearScoringFunction:
         return cls(tuple(to_weights(np.asarray(angles, dtype=float), radius=radius)))
 
     @classmethod
+    def _from_trusted(cls, weights: tuple[float, ...]) -> "LinearScoringFunction":
+        """Construct from an already-validated tuple of Python floats.
+
+        Batch query paths validate a whole weight matrix with one vectorised
+        check (finite, non-negative, some positive entry per row), so the
+        per-instance ``__post_init__`` re-validation would be pure overhead —
+        at thousands of queries per call it dominates the batch runtime.  The
+        caller guarantees the invariants; instances are indistinguishable
+        (``==``, ``hash``, behaviour) from normally constructed ones.
+        """
+        function = object.__new__(cls)
+        object.__setattr__(function, "weights", weights)
+        return function
+
+    @classmethod
     def uniform(cls, dimension: int) -> "LinearScoringFunction":
         """The equal-weights function ``(1/d, ..., 1/d)``."""
         if dimension < 2:

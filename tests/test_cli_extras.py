@@ -124,6 +124,79 @@ class TestSuggestExplain:
         )
 
 
+class TestSuggestBatchAndPersistence:
+    _BASE = [
+        "suggest",
+        "--dataset",
+        "compas",
+        "--n",
+        "60",
+        "--d",
+        "2",
+        "--attribute",
+        "race",
+        "--group",
+        "African-American",
+        "--k",
+        "0.3",
+        "--max-share",
+        "0.6",
+    ]
+
+    def test_requires_weights_or_weights_file(self, capsys):
+        code = main(self._BASE)
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--weights" in captured.err
+
+    def test_weights_file_answers_every_line(self, tmp_path, capsys):
+        weights_file = tmp_path / "queries.txt"
+        weights_file.write_text("0.9,0.1\n0.5,0.5\n\n0.1,0.9\n", encoding="utf-8")
+        code = main(self._BASE + ["--weights-file", str(weights_file)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert captured.out.count("->") == 3
+
+    def test_empty_weights_file_is_an_error(self, tmp_path, capsys):
+        weights_file = tmp_path / "queries.txt"
+        weights_file.write_text("\n", encoding="utf-8")
+        code = main(self._BASE + ["--weights-file", str(weights_file)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no weight vectors" in captured.err
+
+    def test_save_then_load_index_round_trip(self, tmp_path, capsys):
+        index_path = tmp_path / "engine.json"
+        code = main(self._BASE + ["--weights", "0.9,0.1", "--save-index", str(index_path)])
+        saved_out = capsys.readouterr().out
+        assert code == 0
+        assert index_path.exists()
+        assert "engine saved" in saved_out
+        # Serve the same query from the persisted engine, with no dataset
+        # flags needed for preprocessing (the engine file carries it).
+        code = main(
+            [
+                "suggest",
+                "--attribute",
+                "race",
+                "--group",
+                "African-American",
+                "--k",
+                "0.3",
+                "--max-share",
+                "0.6",
+                "--load-index",
+                str(index_path),
+                "--weights",
+                "0.9,0.1",
+            ]
+        )
+        loaded_out = capsys.readouterr().out
+        assert code == 0
+        # Identical answer text before and after the round trip.
+        assert loaded_out.strip() in saved_out
+
+
 @pytest.mark.slow
 class TestFiguresCommand:
     def test_figures_writes_requested_artifacts(self, tmp_path, capsys):
