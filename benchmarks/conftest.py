@@ -1,11 +1,11 @@
 """Shared configuration for the benchmark suite.
 
 Each benchmark module regenerates one table or figure of the paper's §6 (see
-the per-experiment index in DESIGN.md).  The workloads run at a reduced scale
-so the whole suite completes in minutes on a laptop; the *shapes* the paper
+the index in docs/benchmarks.md).  The workloads run at a reduced scale so
+the whole suite completes in minutes on a laptop; the *shapes* the paper
 reports (who wins, growth trends, relative factors) are what these benchmarks
 reproduce, and each module prints the regenerated series to stdout so it can
-be compared against the paper's figures (recorded in EXPERIMENTS.md).
+be compared against the paper's figures.
 """
 
 from __future__ import annotations

@@ -41,7 +41,7 @@ from repro.fairness.oracle import FairnessOracle
 from repro.geometry.angles import angular_distance_angles, to_angles, to_weights
 from repro.geometry.arrangement_tree import ArrangementTree
 from repro.geometry.cellplane import CellPlaneIndex, assign_hyperplanes_to_cells
-from repro.geometry.dual import build_exchange_hyperplanes
+from repro.geometry.dual import HYPERPLANE_METHODS, hyperplanes_for_dataset
 from repro.geometry.hyperplane import Hyperplane, Region
 from repro.geometry.partition import (
     AnglePartition,
@@ -143,6 +143,10 @@ class ApproximatePreprocessor:
         Optional cap on the number of exchange hyperplanes (useful for sweeps).
     convex_layer_k:
         Optional §8 convex-layer filter for top-``k`` oracles.
+    hyperplane_method:
+        ``"batched"`` (default) constructs the exchange hyperplanes with the
+        stacked :func:`~repro.geometry.dual.hyperpolar_many` kernel;
+        ``"scalar"`` uses the bit-identical per-pair reference loop.
     """
 
     def __init__(
@@ -153,6 +157,7 @@ class ApproximatePreprocessor:
         partition: str | AnglePartitionProtocol = "uniform",
         max_hyperplanes: int | None = None,
         convex_layer_k: int | None = None,
+        hyperplane_method: str = "batched",
     ) -> None:
         if dataset.n_attributes < 3:
             raise GeometryError(
@@ -160,11 +165,17 @@ class ApproximatePreprocessor:
             )
         if n_cells < 1:
             raise ConfigurationError("n_cells must be >= 1")
+        if hyperplane_method not in HYPERPLANE_METHODS:
+            raise ConfigurationError(
+                f"unknown hyperplane_method {hyperplane_method!r}; "
+                f"expected one of {HYPERPLANE_METHODS}"
+            )
         self.dataset = dataset
         self.oracle = oracle
         self.n_cells = n_cells
         self.max_hyperplanes = max_hyperplanes
         self.convex_layer_k = convex_layer_k
+        self.hyperplane_method = hyperplane_method
         dimension = dataset.n_attributes - 1
         if isinstance(partition, str):
             if partition == "uniform":
@@ -186,7 +197,9 @@ class ApproximatePreprocessor:
         item_indices = None
         if self.convex_layer_k is not None:
             item_indices = topk_candidate_indices(self.dataset.scores, self.convex_layer_k)
-        hyperplanes = build_exchange_hyperplanes(self.dataset, item_indices)
+        hyperplanes = hyperplanes_for_dataset(
+            self.dataset, item_indices, method=self.hyperplane_method
+        )
         if self.max_hyperplanes is not None:
             hyperplanes = hyperplanes[: self.max_hyperplanes]
         return hyperplanes

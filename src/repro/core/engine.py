@@ -82,6 +82,9 @@ class TwoDConfig:
     use_incremental:
         Maintain sector verdicts incrementally when the oracle supports the
         incremental protocol (see :mod:`repro.fairness.incremental`).
+
+    >>> TwoDConfig().use_incremental
+    True
     """
 
     sample_size: int | None = None
@@ -91,13 +94,29 @@ class TwoDConfig:
 
 @dataclass(frozen=True)
 class ExactConfig:
-    """Configuration of the exact ``SATREGIONS`` + ``MDBASELINE`` pipeline (§4)."""
+    """Configuration of the exact ``SATREGIONS`` + ``MDBASELINE`` pipeline (§4).
+
+    ``hyperplane_method`` selects how the exchange hyperplanes are built:
+    ``"batched"`` (default, the stacked :func:`~repro.geometry.dual.hyperpolar_many`
+    kernel) or ``"scalar"`` (the bit-identical per-pair reference loop).
+
+    >>> ExactConfig().hyperplane_method
+    'batched'
+    """
 
     max_hyperplanes: int | None = None
     convex_layer_k: int | None = None
     use_arrangement_tree: bool = True
     sample_size: int | None = None
     sample_seed: int = 0
+    hyperplane_method: str = "batched"
+
+    def __post_init__(self) -> None:
+        if self.hyperplane_method not in ("batched", "scalar"):
+            raise ConfigurationError(
+                f"hyperplane_method must be 'batched' or 'scalar', "
+                f"got {self.hyperplane_method!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -107,6 +126,13 @@ class ApproxConfig:
     ``partition`` is the name of a built-in partition backend (``"uniform"``
     or ``"angle"``); power users who need a custom partition object can drive
     :class:`~repro.core.approx.ApproximatePreprocessor` directly.
+
+    >>> ApproxConfig(n_cells=256).partition
+    'uniform'
+    >>> ApproxConfig(n_cells=0)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.ConfigurationError: n_cells must be >= 1
     """
 
     n_cells: int = 1024
@@ -115,6 +141,7 @@ class ApproxConfig:
     convex_layer_k: int | None = None
     sample_size: int | None = None
     sample_seed: int = 0
+    hyperplane_method: str = "batched"
 
     def __post_init__(self) -> None:
         if self.n_cells < 1:
@@ -122,6 +149,11 @@ class ApproxConfig:
         if self.partition not in ("uniform", "angle"):
             raise ConfigurationError(
                 f"partition must be 'uniform' or 'angle', got {self.partition!r}"
+            )
+        if self.hyperplane_method not in ("batched", "scalar"):
+            raise ConfigurationError(
+                f"hyperplane_method must be 'batched' or 'scalar', "
+                f"got {self.hyperplane_method!r}"
             )
 
 
@@ -155,7 +187,15 @@ class EngineCapabilities:
     persistable: bool = True
 
     def supports_dimension(self, n_attributes: int) -> bool:
-        """True if the engine can index a dataset with this many scoring attributes."""
+        """True if the engine can index a dataset with this many scoring attributes.
+
+        >>> TwoDEngine.capabilities().supports_dimension(2)
+        True
+        >>> TwoDEngine.capabilities().supports_dimension(3)
+        False
+        >>> ExactEngine.capabilities().supports_dimension(7)
+        True
+        """
         if n_attributes < self.min_attributes:
             return False
         return self.max_attributes is None or n_attributes <= self.max_attributes
@@ -211,12 +251,20 @@ def register_engine(name: str, config_type: type):
 
 
 def available_engines() -> tuple[str, ...]:
-    """Names of all registered engines."""
+    """Names of all registered engines.
+
+    >>> available_engines()
+    ('2d', 'exact', 'approximate')
+    """
     return tuple(_ENGINE_REGISTRY)
 
 
 def get_engine(name: str) -> type:
-    """Look up an engine class by registry name."""
+    """Look up an engine class by registry name.
+
+    >>> get_engine("2d").__name__
+    'TwoDEngine'
+    """
     try:
         return _ENGINE_REGISTRY[name]
     except KeyError:
@@ -226,7 +274,11 @@ def get_engine(name: str) -> type:
 
 
 def engine_name_for_config(config: EngineConfig) -> str:
-    """Map a typed config to the engine name it configures."""
+    """Map a typed config to the engine name it configures.
+
+    >>> engine_name_for_config(ApproxConfig())
+    'approximate'
+    """
     try:
         return _CONFIG_TO_NAME[type(config)]
     except KeyError:
@@ -441,6 +493,7 @@ class ExactEngine(_EngineBase):
             use_arrangement_tree=self.config.use_arrangement_tree,
             max_hyperplanes=self.config.max_hyperplanes,
             convex_layer_k=self.config.convex_layer_k,
+            hyperplane_method=self.config.hyperplane_method,
         ).run()
 
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
@@ -482,6 +535,7 @@ class ApproxEngine(_EngineBase):
             partition=self.config.partition,
             max_hyperplanes=self.config.max_hyperplanes,
             convex_layer_k=self.config.convex_layer_k,
+            hyperplane_method=self.config.hyperplane_method,
         ).run()
 
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:

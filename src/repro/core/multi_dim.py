@@ -29,7 +29,7 @@ from repro.fairness.oracle import FairnessOracle
 from repro.geometry.angles import HALF_PI, angular_distance_angles, to_angles, to_weights
 from repro.geometry.arrangement import Arrangement
 from repro.geometry.arrangement_tree import ArrangementTree
-from repro.geometry.dual import build_exchange_hyperplanes
+from repro.geometry.dual import HYPERPLANE_METHODS, hyperplanes_for_dataset
 from repro.geometry.hyperplane import Hyperplane, Region
 from repro.ranking.scoring import LinearScoringFunction
 
@@ -81,6 +81,12 @@ class SatRegions:
         If given, restrict exchange construction to the items in the first
         ``k`` convex layers — the §8 "onion" optimisation, valid when the
         oracle only inspects the top-``k``.
+    hyperplane_method:
+        ``"batched"`` (default) constructs all exchange hyperplanes with the
+        stacked linear-algebra kernel of
+        :func:`~repro.geometry.dual.hyperpolar_many`; ``"scalar"`` uses the
+        per-pair reference loop.  Both are bit-identical, so this is purely a
+        preprocessing throughput knob.
     """
 
     def __init__(
@@ -90,14 +96,21 @@ class SatRegions:
         use_arrangement_tree: bool = True,
         max_hyperplanes: int | None = None,
         convex_layer_k: int | None = None,
+        hyperplane_method: str = "batched",
     ) -> None:
         if dataset.n_attributes < 3:
             raise GeometryError("SatRegions requires d >= 3; use TwoDRaySweep for d = 2")
+        if hyperplane_method not in HYPERPLANE_METHODS:
+            raise GeometryError(
+                f"unknown hyperplane_method {hyperplane_method!r}; "
+                f"expected one of {HYPERPLANE_METHODS}"
+            )
         self.dataset = dataset
         self.oracle = oracle
         self.use_arrangement_tree = use_arrangement_tree
         self.max_hyperplanes = max_hyperplanes
         self.convex_layer_k = convex_layer_k
+        self.hyperplane_method = hyperplane_method
         self._hyperplanes: list[Hyperplane] | None = None
 
     # ------------------------------------------------------------------ #
@@ -106,17 +119,22 @@ class SatRegions:
     def build_hyperplanes(self) -> list[Hyperplane]:
         """Construct the exchange hyperplanes (optionally convex-layer filtered / capped).
 
-        Pair eligibility is decided by the vectorised dominance kernel inside
-        :func:`~repro.geometry.dual.build_exchange_hyperplanes` (one broadcast
-        pass instead of ~n²/2 per-pair dominance re-tests).  The result is
-        memoized on the instance: dataset and filter parameters are fixed at
-        construction, so repeated ``run()`` calls reuse the hyperplanes.
+        Pair eligibility is decided by the chunked vectorised dominance kernel
+        inside :func:`~repro.geometry.dual.hyperplanes_for_dataset` (broadcast
+        row blocks instead of ~n²/2 per-pair dominance re-tests), and the
+        hyperplanes themselves by the batched ``hyperpolar_many`` kernel (or
+        the scalar reference loop when ``hyperplane_method="scalar"``).  The
+        result is memoized on the instance: dataset and filter parameters are
+        fixed at construction, so repeated ``run()`` calls reuse the
+        hyperplanes.
         """
         if self._hyperplanes is None:
             item_indices = None
             if self.convex_layer_k is not None:
                 item_indices = topk_candidate_indices(self.dataset.scores, self.convex_layer_k)
-            hyperplanes = build_exchange_hyperplanes(self.dataset, item_indices)
+            hyperplanes = hyperplanes_for_dataset(
+                self.dataset, item_indices, method=self.hyperplane_method
+            )
             if self.max_hyperplanes is not None:
                 hyperplanes = hyperplanes[: self.max_hyperplanes]
             self._hyperplanes = hyperplanes

@@ -13,6 +13,7 @@ from repro.data.dominance import (
     dominance_matrix,
     dominates,
     exchange_pair_indices,
+    iter_exchange_pair_chunks,
     non_dominated_pairs,
     pairwise_close_matrix,
     skyline_indices,
@@ -42,6 +43,7 @@ __all__ = [
     "skyline_indices",
     "non_dominated_pairs",
     "exchange_pair_indices",
+    "iter_exchange_pair_chunks",
     "convex_layers",
     "upper_hull_indices",
     "topk_candidate_indices",

@@ -15,6 +15,7 @@ from repro.geometry.angles import (
     clamp_angles,
     is_first_orthant_direction,
     to_angles,
+    to_angles_many,
     to_weights,
 )
 from repro.geometry.arrangement import Arrangement
@@ -32,7 +33,9 @@ from repro.geometry.dual import (
     exchange_angle_2d,
     exchange_normal,
     has_exchange,
+    hyperplanes_for_dataset,
     hyperpolar,
+    hyperpolar_many,
 )
 from repro.geometry.hyperplane import HalfSpace, Hyperplane, Region, angle_box_bounds
 from repro.geometry.lp import LPResult, chebyshev_center, feasible_point, is_feasible
@@ -47,6 +50,7 @@ from repro.geometry.partition import (
 __all__ = [
     "HALF_PI",
     "to_angles",
+    "to_angles_many",
     "to_weights",
     "angular_distance",
     "angular_distance_angles",
@@ -62,6 +66,8 @@ __all__ = [
     "exchange_angle_2d",
     "has_exchange",
     "hyperpolar",
+    "hyperpolar_many",
+    "hyperplanes_for_dataset",
     "build_exchange_angles_2d",
     "build_exchange_angles_2d_reference",
     "build_exchange_hyperplanes",

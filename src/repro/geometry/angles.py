@@ -35,6 +35,7 @@ from repro.exceptions import GeometryError
 __all__ = [
     "HALF_PI",
     "to_angles",
+    "to_angles_many",
     "to_weights",
     "angular_distance",
     "angular_distance_angles",
@@ -88,9 +89,59 @@ def to_angles(weights: np.ndarray) -> np.ndarray:
     angles = np.empty(d - 1, dtype=float)
     # tail[k] = sqrt(w_{k+1}^2 + ... + w_d^2)
     tail = np.sqrt(np.cumsum(weights[::-1] ** 2)[::-1])
+    # np.arctan2 (not math.atan2, whose bits can differ) so the scalar path is
+    # bit-identical to the row-wise kernel in to_angles_many.
     for k in range(d - 2):
-        angles[k] = math.atan2(tail[k + 1], weights[k])
-    angles[d - 2] = math.atan2(weights[d - 1], weights[d - 2])
+        angles[k] = np.arctan2(tail[k + 1], weights[k])
+    angles[d - 2] = np.arctan2(weights[d - 1], weights[d - 2])
+    return clamp_angles(angles)
+
+
+def to_angles_many(weight_matrix: np.ndarray) -> np.ndarray:
+    """Convert a stack of weight vectors to their hyperspherical angles at once.
+
+    The batched counterpart of :func:`to_angles`: row ``k`` of the result is
+    bit-identical to ``to_angles(weight_matrix[k])``.  Both paths share the
+    same primitives (``np.cumsum`` of the reversed squares, ``np.sqrt``,
+    ``np.arctan2``, ``np.clip``) applied in the same order, which is what makes
+    the batched exchange-hyperplane construction reproduce the scalar one
+    exactly.
+
+    Parameters
+    ----------
+    weight_matrix:
+        ``(m, d)`` matrix of non-negative weight vectors, each with at least
+        one positive entry, ``d >= 2``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, d - 1)`` matrix of angle vectors, every entry in ``[0, π/2]``.
+
+    Raises
+    ------
+    GeometryError
+        If the matrix is not 2-D, has fewer than 2 columns, or any row fails
+        the first-orthant-direction requirements of :func:`to_angles`.
+    """
+    weight_matrix = np.asarray(weight_matrix, dtype=float)
+    if weight_matrix.ndim != 2 or weight_matrix.shape[1] < 2:
+        raise GeometryError("to_angles_many expects an (m, d) weight matrix with d >= 2")
+    if not (
+        np.all(np.isfinite(weight_matrix))
+        and np.all(weight_matrix >= 0)
+        and np.all(np.any(weight_matrix > 0, axis=1))
+    ):
+        raise GeometryError(
+            "every row must be finite, non-negative and not all zero to define a ray"
+        )
+    d = weight_matrix.shape[1]
+    # tail[:, k] = sqrt(w_{k+1}^2 + ... + w_d^2), exactly as in to_angles.
+    tail = np.sqrt(np.cumsum(weight_matrix[:, ::-1] ** 2, axis=1)[:, ::-1])
+    angles = np.empty((weight_matrix.shape[0], d - 1), dtype=float)
+    if d > 2:
+        angles[:, : d - 2] = np.arctan2(tail[:, 1 : d - 1], weight_matrix[:, : d - 2])
+    angles[:, d - 2] = np.arctan2(weight_matrix[:, d - 1], weight_matrix[:, d - 2])
     return clamp_angles(angles)
 
 

@@ -21,39 +21,52 @@ Three views of the same object are provided here:
   does, and the oracle evaluation at region representatives keeps the final
   labels correct.)
 
-Batch construction is vectorised: instead of calling :func:`has_exchange` on
-each of the ~n²/2 pairs (each call allocating arrays and re-running
-``np.allclose`` plus two ``dominates`` checks), the eligible pairs are
-enumerated in one shot by :func:`repro.data.dominance.exchange_pair_indices`
-(three broadcast comparisons over the (n, n, d) difference tensor), and all
-2-D exchange angles are then computed with a single vectorised ``arctan2``
-over the pairwise score differences.  The historical scalar loops are retained
-as ``build_exchange_angles_2d_reference`` / ``build_exchange_hyperplanes_reference``
-so tests and benchmarks can assert the kernels are exactly equivalent.  Both
-paths compute angles with the same ``np.arctan2`` primitive, so the produced
-angles are bit-identical.
+Batch construction is vectorised end to end: pair eligibility is decided by
+the broadcast dominance kernels of :mod:`repro.data.dominance` (enumerated in
+bounded-memory row blocks by :func:`~repro.data.dominance.iter_exchange_pair_chunks`
+so the O(n²) broadcast never materialises the full difference tensor), all
+2-D exchange angles come from a single vectorised ``arctan2``, and all d ≥ 3
+exchange hyperplanes come from :func:`hyperpolar_many` — one batched SVD over
+the ``(m, 1, d)`` stack of exchange normals for the nullspace bases, one
+batched ``np.linalg.solve`` over the ``(m, d-1, d-1)`` angle matrices —
+instead of m per-pair nullspace/solve calls.  The scalar routes are retained
+(``build_exchange_angles_2d_reference`` / ``build_exchange_hyperplanes_reference``,
+and ``method="scalar"`` on :func:`hyperplanes_for_dataset`) so tests and
+benchmarks can assert the kernels are exactly equivalent.  Scalar and batched
+paths share the same primitives — ``np.arctan2`` for angles, the numpy SVD
+gufunc for nullspaces, the numpy solve gufunc for the linear systems — and
+numpy gufuncs apply the identical per-matrix routine across the stacked batch,
+so the produced angles and hyperplane coefficients are bit-identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.linalg import null_space
 
 from repro.data.dataset import Dataset
-from repro.data.dominance import dominates, exchange_pair_indices
+from repro.data.dominance import (
+    dominates,
+    exchange_pair_indices,
+    iter_exchange_pair_chunks,
+)
 from repro.exceptions import GeometryError
-from repro.geometry.angles import to_angles
+from repro.geometry.angles import to_angles, to_angles_many
 from repro.geometry.hyperplane import Hyperplane
 
 __all__ = [
     "exchange_normal",
     "exchange_angle_2d",
     "hyperpolar",
+    "hyperpolar_many",
+    "hyperplanes_for_dataset",
     "build_exchange_hyperplanes",
     "build_exchange_hyperplanes_reference",
     "build_exchange_angles_2d",
     "build_exchange_angles_2d_reference",
 ]
+
+#: Methods accepted by :func:`hyperplanes_for_dataset`.
+HYPERPLANE_METHODS = ("batched", "scalar")
 
 
 def exchange_normal(first: np.ndarray, second: np.ndarray) -> np.ndarray:
@@ -62,6 +75,10 @@ def exchange_normal(first: np.ndarray, second: np.ndarray) -> np.ndarray:
     The exchange hyperplane in weight space is ``normal · w = 0``; weight
     vectors on its positive side rank ``first`` above ``second`` and vice
     versa.
+
+    >>> import numpy as np
+    >>> exchange_normal(np.array([1.0, 2.0]), np.array([3.0, 1.0]))
+    array([-2.,  1.])
     """
     first = np.asarray(first, dtype=float)
     second = np.asarray(second, dtype=float)
@@ -75,6 +92,12 @@ def has_exchange(first: np.ndarray, second: np.ndarray) -> bool:
 
     Identical items and dominated pairs do not exchange anywhere in the space
     of non-negative weight vectors (§3.2, footnote 4).
+
+    >>> import numpy as np
+    >>> has_exchange(np.array([1.0, 2.0]), np.array([2.0, 1.0]))
+    True
+    >>> has_exchange(np.array([2.0, 2.0]), np.array([1.0, 1.0]))
+    False
     """
     first = np.asarray(first, dtype=float)
     second = np.asarray(second, dtype=float)
@@ -85,6 +108,10 @@ def has_exchange(first: np.ndarray, second: np.ndarray) -> bool:
 
 def exchange_angle_2d(first: np.ndarray, second: np.ndarray) -> float:
     """Return the angle (with the x-axis) of the 2-D ordering exchange of a pair (Eq. 2).
+
+    >>> import numpy as np
+    >>> round(exchange_angle_2d(np.array([1.0, 2.0]), np.array([2.0, 1.0])), 6)
+    0.785398
 
     Raises
     ------
@@ -150,6 +177,11 @@ def hyperpolar(
     Hyperplane
         The exchange hyperplane ``h · θ = 1`` in the ``(d-1)``-dimensional
         angle space.
+
+    >>> import numpy as np
+    >>> plane = hyperpolar(np.array([1.0, 2.0, 3.0]), np.array([2.0, 4.0, 1.0]), label=(0, 1))
+    >>> plane.dimension, plane.label
+    (2, (0, 1))
     """
     first = np.asarray(first, dtype=float)
     second = np.asarray(second, dtype=float)
@@ -161,6 +193,21 @@ def hyperpolar(
     if not has_exchange(first, second):
         raise GeometryError("the pair has no ordering exchange in the first orthant")
     return _hyperpolar_unchecked(first, second, label)
+
+
+def _nullspace_of_normal(normal: np.ndarray) -> np.ndarray:
+    """Return a ``(d, d-1)`` orthonormal basis of ``normal``'s nullspace via SVD.
+
+    Same construction as ``scipy.linalg.null_space`` specialised to a single
+    ``(1, d)`` row: the trailing right-singular vectors span the nullspace.
+    Uses the numpy SVD gufunc so the scalar path is bit-identical to the
+    batched stack in :func:`hyperpolar_many` (the gufunc applies the identical
+    LAPACK routine per stacked matrix).
+    """
+    _, singular_values, vh = np.linalg.svd(normal[None, :], full_matrices=True)
+    if singular_values[0] <= 0.0:
+        return np.empty((normal.size, 0))
+    return vh[1:].T
 
 
 def _hyperpolar_unchecked(
@@ -175,7 +222,7 @@ def _hyperpolar_unchecked(
     d = first.size
     normal = exchange_normal(first, second)
     base_point = _strictly_positive_point_on(normal)
-    basis = null_space(normal[None, :])
+    basis = _nullspace_of_normal(normal)
     if basis.shape[1] != d - 1:
         raise GeometryError("degenerate exchange normal; cannot span the exchange hyperplane")
 
@@ -208,6 +255,256 @@ def _hyperpolar_unchecked(
     return Hyperplane(tuple(coefficients), label=label)
 
 
+def _strictly_positive_points_on_many(normals: np.ndarray) -> np.ndarray:
+    """Batched :func:`_strictly_positive_point_on`: one strictly positive point per normal.
+
+    ``normals`` is the ``(m, d)`` stack of exchange normals; every row must
+    contain both positive and negative entries (guaranteed for non-dominated
+    pairs, and validated by :func:`hyperpolar_many`).  Row ``k`` of the result
+    is bit-identical to ``_strictly_positive_point_on(normals[k])`` — the same
+    ``1 / (entry · count)`` expression evaluated elementwise.
+    """
+    positive = normals > 0
+    negative = normals < 0
+    positive_counts = positive.sum(axis=1)[:, None]
+    negative_counts = negative.sum(axis=1)[:, None]
+    points = np.ones_like(normals, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        points = np.where(positive, 1.0 / (normals * positive_counts), points)
+        points = np.where(negative, 1.0 / (-normals * negative_counts), points)
+    return points
+
+
+def _hyperpolar_first_attempt_batch(
+    normals: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run attempt 0 of the HYPERPOLAR sampling loop for a whole stack of normals.
+
+    Returns ``(coefficients, ok)`` where ``coefficients`` is the ``(m, d-1)``
+    solution stack and ``ok`` marks the rows whose attempt-0 system solved to
+    finite, non-degenerate coefficients — exactly the acceptance test of the
+    scalar loop's first iteration.  Rows with ``ok`` False must be re-run
+    through the scalar path (which retries with smaller steps and a
+    least-squares fallback); rows with ``ok`` True are bit-identical to what
+    the scalar path would return, because every step — base point, SVD
+    nullspace, step-limit minimisation, angle conversion, linear solve — uses
+    the same primitive applied by a numpy gufunc or elementwise kernel over
+    the stack.
+    """
+    m, d = normals.shape
+    base_points = _strictly_positive_points_on_many(normals)
+    # One batched SVD over the (m, 1, d) normal stack: rows 1..d-1 of each
+    # ``vh`` span the exchange hyperplane, exactly as in _nullspace_of_normal.
+    vh = np.linalg.svd(normals[:, None, :], full_matrices=True)[2]
+
+    theta_stack = np.empty((m, d - 1, d - 1))
+    failed = np.zeros(m, dtype=bool)
+    for column in range(d - 1):
+        directions = vh[:, 1 + column, :]
+        negative_mask = directions < 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(negative_mask, base_points / -directions, np.inf)
+        step_limits = np.where(
+            np.any(negative_mask, axis=1), np.min(ratios, axis=1), 1.0
+        )
+        # attempt = 0 of the scalar loop, kept literally: / 1.0 is exact.
+        steps = 0.5 * step_limits / 1.0 * (1.0 + 0.37 * column)
+        samples = np.clip(base_points + steps[:, None] * directions, 0.0, None)
+        dead = ~np.any(samples > 0, axis=1)
+        if np.any(dead):
+            samples[dead] = base_points[dead]
+        # Rows whose samples are not valid first-orthant directions (possible
+        # only for pathological normals, e.g. denormal entries) go through the
+        # scalar path so they raise or recover exactly as hyperpolar would.
+        invalid = ~np.all(np.isfinite(samples), axis=1)
+        if np.any(invalid):
+            failed |= invalid
+            samples[invalid] = 1.0
+        theta_stack[:, column, :] = to_angles_many(samples)
+
+    ones = np.ones((m, d - 1, 1))
+    try:
+        solutions = np.linalg.solve(theta_stack, ones)[..., 0]
+        solved = np.ones(m, dtype=bool)
+    except np.linalg.LinAlgError:
+        # At least one singular system in the stack: fall back to per-row
+        # solves (the same gufunc, so still bit-identical) to find survivors.
+        solutions = np.zeros((m, d - 1))
+        solved = np.zeros(m, dtype=bool)
+        for row in range(m):
+            try:
+                solutions[row] = np.linalg.solve(theta_stack[row], np.ones(d - 1))
+                solved[row] = True
+            except np.linalg.LinAlgError:
+                continue
+    ok = (
+        solved
+        & ~failed
+        & np.all(np.isfinite(solutions), axis=1)
+        & np.any(np.abs(solutions) > 1e-12, axis=1)
+    )
+    return solutions, ok
+
+
+def hyperpolar_many(
+    scores: np.ndarray,
+    pairs: np.ndarray,
+    labels: list[tuple[int, int]] | None = None,
+) -> list[Hyperplane]:
+    """Construct the angle-space exchange hyperplanes of many pairs at once.
+
+    The batched counterpart of :func:`hyperpolar` (Algorithm 3): all pairwise
+    exchange normals are stacked, their nullspace bases come from one batched
+    SVD over the ``(m, 1, d)`` normal stack, the sampled angle points from the
+    vectorised :func:`~repro.geometry.angles.to_angles_many`, and the
+    hyperplane coefficients from one batched ``np.linalg.solve`` over the
+    ``(m, d-1, d-1)`` angle matrices.  The rare pairs whose first sampling
+    attempt yields a singular or degenerate system (the scalar loop retries
+    those with smaller steps) are re-run through the scalar path, so the
+    output is bit-identical to calling :func:`hyperpolar` per pair.
+
+    Parameters
+    ----------
+    scores:
+        ``(n, d)`` score matrix with ``d >= 3``.
+    pairs:
+        ``(m, 2)`` integer array of row-index pairs, each exchange-eligible
+        (neither row dominates the other — e.g. the output of
+        :func:`~repro.data.dominance.exchange_pair_indices`).
+    labels:
+        Optional per-pair labels; defaults to the ``(i, j)`` row indices.
+
+    Returns
+    -------
+    list of Hyperplane
+        One hyperplane per pair, in input order.
+
+    Raises
+    ------
+    GeometryError
+        If ``d < 3``, the pair array is malformed, or a pair is not
+        exchange-eligible (its normal does not cross the first orthant).
+
+    >>> import numpy as np
+    >>> scores = np.array([[1.0, 2.0, 3.0], [2.0, 4.0, 1.0], [5.3, 1.0, 6.0]])
+    >>> planes = hyperpolar_many(scores, np.array([[0, 1], [1, 2]]))
+    >>> [plane.label for plane in planes]
+    [(0, 1), (1, 2)]
+    >>> planes[0] == hyperpolar(scores[0], scores[1], label=(0, 1))
+    True
+    """
+    scores = np.asarray(scores, dtype=float)
+    pairs = np.asarray(pairs, dtype=int)
+    if scores.ndim != 2:
+        raise GeometryError("hyperpolar_many expects an (n, d) score matrix")
+    d = scores.shape[1]
+    if d < 3:
+        raise GeometryError("hyperpolar_many requires d >= 3; use exchange_angle_2d for d = 2")
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise GeometryError("hyperpolar_many expects an (m, 2) pair-index array")
+    if pairs.shape[0] == 0:
+        return []
+    if labels is None:
+        labels = [(int(i), int(j)) for i, j in pairs.tolist()]
+    elif len(labels) != pairs.shape[0]:
+        raise GeometryError("labels must match the number of pairs")
+
+    first = scores[pairs[:, 0]]
+    second = scores[pairs[:, 1]]
+    normals = first - second
+    if not np.all(np.any(normals > 0, axis=1) & np.any(normals < 0, axis=1)):
+        raise GeometryError(
+            "every pair must be exchange-eligible (neither item may dominate the other)"
+        )
+    coefficients, ok = _hyperpolar_first_attempt_batch(normals)
+
+    hyperplanes: list[Hyperplane] = []
+    for row, label in enumerate(labels):
+        if ok[row]:
+            hyperplanes.append(Hyperplane(tuple(coefficients[row]), label=label))
+        else:
+            hyperplanes.append(_hyperpolar_unchecked(first[row], second[row], label))
+    return hyperplanes
+
+
+def hyperplanes_for_dataset(
+    dataset: Dataset,
+    item_indices: np.ndarray | None = None,
+    *,
+    method: str = "batched",
+    pair_chunk_size: int | None = None,
+) -> list[Hyperplane]:
+    """Construct every exchange hyperplane of a dataset through one entry point.
+
+    This is the preprocessing front door shared by the exact (``SATREGIONS``)
+    and approximate (§5 grid) engines.  Pair eligibility always comes from the
+    vectorised dominance kernel, enumerated in bounded-memory row blocks; the
+    per-pair hyperplane construction is either the batched stacked-linear-
+    algebra kernel (:func:`hyperpolar_many`, the default) or the scalar
+    reference loop — both produce bit-identical hyperplanes, so the choice is
+    purely a throughput knob.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset with ``d >= 3`` scoring attributes.
+    item_indices:
+        Optional subset of item indices to restrict the construction to (used
+        by the convex-layer optimisation); defaults to all items.
+    method:
+        ``"batched"`` (default) for the stacked kernel, ``"scalar"`` for the
+        per-pair reference loop.
+    pair_chunk_size:
+        Rows per pair-enumeration block (see
+        :func:`~repro.data.dominance.iter_exchange_pair_chunks`); defaults to
+        an automatic bound that keeps the broadcast block near 64 MB.
+
+    Returns
+    -------
+    list of Hyperplane
+        One hyperplane per exchanging pair, labelled with the pair's original
+        item indices, in the same order for both methods.
+
+    >>> import numpy as np
+    >>> from repro.data.dataset import Dataset
+    >>> dataset = Dataset(
+    ...     scores=np.array([[1.0, 2.0, 3.0], [2.0, 4.0, 1.0], [5.3, 1.0, 6.0]]),
+    ...     scoring_attributes=["x", "y", "z"],
+    ... )
+    >>> batched = hyperplanes_for_dataset(dataset)
+    >>> scalar = hyperplanes_for_dataset(dataset, method="scalar")
+    >>> batched == scalar
+    True
+    """
+    if dataset.n_attributes < 3:
+        raise GeometryError("hyperplanes_for_dataset requires d >= 3")
+    if method not in HYPERPLANE_METHODS:
+        raise GeometryError(
+            f"unknown hyperplane construction method {method!r}; "
+            f"expected one of {HYPERPLANE_METHODS}"
+        )
+    if item_indices is None:
+        indices = np.arange(dataset.n_items)
+    else:
+        indices = np.asarray(item_indices, dtype=int)
+    scores = dataset.scores
+    hyperplanes: list[Hyperplane] = []
+    for position_pairs in iter_exchange_pair_chunks(
+        scores[indices], row_chunk_size=pair_chunk_size
+    ):
+        if position_pairs.shape[0] == 0:
+            continue
+        global_pairs = indices[position_pairs]
+        if method == "batched":
+            hyperplanes.extend(hyperpolar_many(scores, global_pairs))
+        else:
+            for i, j in global_pairs.tolist():
+                hyperplanes.append(
+                    _hyperpolar_unchecked(scores[i], scores[j], label=(i, j))
+                )
+    return hyperplanes
+
+
 def build_exchange_angles_2d(dataset: Dataset) -> list[tuple[float, int, int]]:
     """Return all 2-D ordering exchanges of a dataset as ``(angle, i, j)`` triples.
 
@@ -218,6 +515,14 @@ def build_exchange_angles_2d(dataset: Dataset) -> list[tuple[float, int, int]]:
     all angles from a single ``arctan2`` over the pairwise score differences —
     no per-pair Python calls.  Output is identical (bit-for-bit) to
     :func:`build_exchange_angles_2d_reference`.
+
+    >>> import numpy as np
+    >>> from repro.data.dataset import Dataset
+    >>> dataset = Dataset(
+    ...     scores=np.array([[1.0, 2.0], [2.0, 1.0]]), scoring_attributes=["x", "y"]
+    ... )
+    >>> build_exchange_angles_2d(dataset)
+    [(0.7853981633974483, 0, 1)]
     """
     if dataset.n_attributes != 2:
         raise GeometryError("build_exchange_angles_2d requires a 2-attribute dataset")
@@ -259,6 +564,9 @@ def build_exchange_hyperplanes(
 ) -> list[Hyperplane]:
     """Construct the angle-space exchange hyperplanes of every non-dominated pair.
 
+    A thin alias of :func:`hyperplanes_for_dataset` with the default batched
+    method, kept for callers predating the unified entry point.
+
     Parameters
     ----------
     dataset:
@@ -273,23 +581,7 @@ def build_exchange_hyperplanes(
         One hyperplane per exchanging pair, labelled with the pair's original
         item indices.
     """
-    if dataset.n_attributes < 3:
-        raise GeometryError("build_exchange_hyperplanes requires d >= 3")
-    if item_indices is None:
-        indices = np.arange(dataset.n_items)
-    else:
-        indices = np.asarray(item_indices, dtype=int)
-    scores = dataset.scores
-    # One vectorised eligibility pass over the (possibly restricted) item set
-    # replaces the per-pair has_exchange calls; hyperpolar's own recheck is
-    # skipped via the unchecked core.
-    pairs = exchange_pair_indices(scores[indices])
-    hyperplanes: list[Hyperplane] = []
-    for position_i, position_j in pairs.tolist():
-        i = int(indices[position_i])
-        j = int(indices[position_j])
-        hyperplanes.append(_hyperpolar_unchecked(scores[i], scores[j], label=(i, j)))
-    return hyperplanes
+    return hyperplanes_for_dataset(dataset, item_indices, method="batched")
 
 
 def build_exchange_hyperplanes_reference(

@@ -18,6 +18,7 @@ from repro.geometry.angles import (
     clamp_angles,
     is_first_orthant_direction,
     to_angles,
+    to_angles_many,
     to_weights,
 )
 
@@ -69,6 +70,31 @@ class TestToAngles:
         angles = to_angles(weights)
         assert np.all(angles >= 0.0)
         assert np.all(angles <= HALF_PI + 1e-12)
+
+
+class TestToAnglesMany:
+    @pytest.mark.perf_smoke
+    @pytest.mark.parametrize("dimension", [2, 3, 4, 5])
+    def test_bit_identical_to_scalar_rows(self, dimension):
+        rng = np.random.default_rng(dimension)
+        matrix = rng.uniform(0.0, 10.0, size=(200, dimension))
+        matrix[::7] = 0.0
+        matrix[::7, 0] = 1.0  # rows with a single positive entry
+        batched = to_angles_many(matrix)
+        scalar = np.array([to_angles(row) for row in matrix])
+        assert np.array_equal(batched, scalar)
+
+    def test_rejects_non_matrix_input(self):
+        with pytest.raises(GeometryError):
+            to_angles_many(np.array([1.0, 2.0]))
+        with pytest.raises(GeometryError):
+            to_angles_many(np.ones((3, 1)))
+
+    def test_rejects_invalid_rows(self):
+        with pytest.raises(GeometryError):
+            to_angles_many(np.array([[1.0, 2.0], [0.0, 0.0]]))
+        with pytest.raises(GeometryError):
+            to_angles_many(np.array([[1.0, -2.0]]))
 
 
 class TestToWeights:

@@ -11,6 +11,8 @@ from hypothesis.extra.numpy import arrays
 from repro.data.dominance import (
     dominance_matrix,
     dominates,
+    exchange_pair_indices,
+    iter_exchange_pair_chunks,
     non_dominated_pairs,
     skyline_indices,
 )
@@ -97,6 +99,39 @@ class TestNonDominatedPairs:
         pairs = non_dominated_pairs(scores)
         assert all(i < j for i, j in pairs)
         assert len(set(pairs)) == len(pairs)
+
+
+class TestIterExchangePairChunks:
+    """Chunked pair enumeration must reproduce the one-shot kernel exactly."""
+
+    @pytest.mark.perf_smoke
+    @pytest.mark.parametrize("row_chunk_size", [1, 3, 7, 64, None])
+    def test_concatenated_chunks_match_one_shot(self, row_chunk_size):
+        rng = np.random.default_rng(13)
+        scores = rng.uniform(0.0, 1.0, size=(57, 3))
+        scores[5] = scores[20]  # exact duplicate
+        scores[8] = scores[30] + 5e-9  # allclose duplicate
+        scores[11] = scores[40] + 0.2  # dominated pair
+        full = exchange_pair_indices(scores)
+        chunks = list(iter_exchange_pair_chunks(scores, row_chunk_size=row_chunk_size))
+        assert np.array_equal(np.concatenate(chunks), full)
+
+    def test_each_chunk_covers_a_row_block(self):
+        rng = np.random.default_rng(1)
+        scores = rng.uniform(0.0, 1.0, size=(20, 3))
+        chunks = list(iter_exchange_pair_chunks(scores, row_chunk_size=6))
+        assert len(chunks) == 4
+        for block, chunk in enumerate(chunks):
+            if chunk.shape[0]:
+                assert np.all(chunk[:, 0] >= block * 6)
+                assert np.all(chunk[:, 0] < (block + 1) * 6)
+                assert np.all(chunk[:, 1] > chunk[:, 0])
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(DatasetError):
+            list(iter_exchange_pair_chunks(np.ones(5)))
+        with pytest.raises(DatasetError):
+            list(iter_exchange_pair_chunks(np.ones((4, 2)), row_chunk_size=0))
 
 
 class TestConvexLayers:

@@ -21,10 +21,13 @@ from repro.geometry.angles import to_weights
 from repro.geometry.dual import (
     build_exchange_angles_2d,
     build_exchange_hyperplanes,
+    build_exchange_hyperplanes_reference,
     exchange_angle_2d,
     exchange_normal,
     has_exchange,
+    hyperplanes_for_dataset,
     hyperpolar,
+    hyperpolar_many,
 )
 
 
@@ -170,3 +173,81 @@ class TestBatchConstruction:
         labels = {plane.label for plane in build_exchange_hyperplanes(dataset)}
         assert (0, 1) not in labels  # item 1 dominates item 0
         assert (1, 2) in labels
+
+
+def uniform_dataset(n: int, d: int, seed: int) -> Dataset:
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        scores=rng.uniform(0.05, 1.0, size=(n, d)),
+        scoring_attributes=[f"a{k}" for k in range(d)],
+    )
+
+
+class TestHyperpolarMany:
+    """The batched construction must be bit-identical to the scalar HYPERPOLAR."""
+
+    @pytest.mark.perf_smoke
+    @pytest.mark.parametrize("dimension", [3, 4, 5])
+    def test_bit_identical_to_scalar_reference(self, dimension):
+        dataset = uniform_dataset(40, dimension, seed=dimension)
+        batched = hyperplanes_for_dataset(dataset, method="batched")
+        scalar = hyperplanes_for_dataset(dataset, method="scalar")
+        reference = build_exchange_hyperplanes_reference(dataset)
+        assert len(batched) > 0
+        # Hyperplane is a frozen dataclass: == compares the exact coefficient
+        # tuples and labels, so this asserts bit-identity, not approximation.
+        assert batched == scalar
+        assert batched == reference
+
+    @pytest.mark.perf_smoke
+    def test_chunked_enumeration_is_invariant(self):
+        dataset = uniform_dataset(30, 3, seed=9)
+        whole = hyperplanes_for_dataset(dataset)
+        chunked = hyperplanes_for_dataset(dataset, pair_chunk_size=4)
+        assert whole == chunked
+
+    def test_pairs_drive_labels_and_order(self, paper_3d_dataset):
+        scores = paper_3d_dataset.scores
+        pairs = np.array([[0, 1], [1, 2]])
+        planes = hyperpolar_many(scores, pairs)
+        assert [plane.label for plane in planes] == [(0, 1), (1, 2)]
+        assert planes[0] == hyperpolar(scores[0], scores[1], label=(0, 1))
+        assert planes[1] == hyperpolar(scores[1], scores[2], label=(1, 2))
+
+    def test_explicit_labels_override(self, paper_3d_dataset):
+        planes = hyperpolar_many(
+            paper_3d_dataset.scores, np.array([[0, 1]]), labels=[(7, 8)]
+        )
+        assert planes[0].label == (7, 8)
+
+    def test_empty_pairs(self, paper_3d_dataset):
+        assert hyperpolar_many(paper_3d_dataset.scores, np.empty((0, 2), dtype=int)) == []
+
+    def test_requires_md(self):
+        with pytest.raises(GeometryError):
+            hyperpolar_many(np.array([[1.0, 2.0], [2.0, 1.0]]), np.array([[0, 1]]))
+
+    def test_rejects_dominated_pairs(self):
+        scores = np.array([[2.0, 2.0, 2.0], [1.0, 1.0, 1.0]])
+        with pytest.raises(GeometryError):
+            hyperpolar_many(scores, np.array([[0, 1]]))
+
+    def test_rejects_malformed_pairs(self, paper_3d_dataset):
+        with pytest.raises(GeometryError):
+            hyperpolar_many(paper_3d_dataset.scores, np.array([0, 1]))
+        with pytest.raises(GeometryError):
+            hyperpolar_many(
+                paper_3d_dataset.scores, np.array([[0, 1]]), labels=[(0, 1), (1, 2)]
+            )
+
+    def test_unknown_method_raises(self, paper_3d_dataset):
+        with pytest.raises(GeometryError):
+            hyperplanes_for_dataset(paper_3d_dataset, method="turbo")
+
+    def test_subset_matches_reference(self, paper_3d_dataset):
+        indices = np.array([3, 0, 2])
+        batched = hyperplanes_for_dataset(paper_3d_dataset, item_indices=indices)
+        reference = build_exchange_hyperplanes_reference(
+            paper_3d_dataset, item_indices=indices
+        )
+        assert batched == reference

@@ -135,6 +135,57 @@ class TestRegistry:
         with pytest.raises(ConfigurationError):
             ApproxConfig(partition="weird")
 
+    def test_hyperplane_method_validated(self):
+        with pytest.raises(ConfigurationError):
+            ExactConfig(hyperplane_method="turbo")
+        with pytest.raises(ConfigurationError):
+            ApproxConfig(hyperplane_method="turbo")
+        assert ExactConfig().hyperplane_method == "batched"
+        assert ApproxConfig().hyperplane_method == "batched"
+
+
+@pytest.mark.perf_smoke
+class TestHyperplaneMethodEquivalence:
+    """Both d >= 3 engines must preprocess identically under either method."""
+
+    def test_exact_engine_batched_matches_scalar(self, md_dataset_oracle):
+        dataset, oracle = md_dataset_oracle
+        batched = FairRankingDesigner(
+            dataset, oracle, ExactConfig(max_hyperplanes=20)
+        ).preprocess()
+        scalar = FairRankingDesigner(
+            dataset, oracle, ExactConfig(max_hyperplanes=20, hyperplane_method="scalar")
+        ).preprocess()
+        assert batched.index.n_hyperplanes == scalar.index.n_hyperplanes
+        assert batched.index.oracle_calls == scalar.index.oracle_calls
+        assert [r.representative_angles for r in batched.index.satisfactory_regions] == [
+            r.representative_angles for r in scalar.index.satisfactory_regions
+        ]
+        queries = _random_queries(4, 3, seed=2)
+        assert batched.suggest_many(queries) == scalar.suggest_many(queries)
+
+    def test_approx_engine_batched_matches_scalar(self, md_dataset_oracle):
+        dataset, oracle = md_dataset_oracle
+        batched = FairRankingDesigner(
+            dataset, oracle, ApproxConfig(n_cells=25, max_hyperplanes=25)
+        ).preprocess()
+        scalar = FairRankingDesigner(
+            dataset,
+            oracle,
+            ApproxConfig(n_cells=25, max_hyperplanes=25, hyperplane_method="scalar"),
+        ).preprocess()
+        assert batched.index.oracle_calls == scalar.index.oracle_calls
+        assert batched.index.marked == scalar.index.marked
+        batched_angles = batched.index.assigned_angles
+        scalar_angles = scalar.index.assigned_angles
+        assert len(batched_angles) == len(scalar_angles)
+        for left, right in zip(batched_angles, scalar_angles):
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert np.array_equal(left, right)
+        queries = _random_queries(4, 3, seed=3)
+        assert batched.suggest_many(queries) == scalar.suggest_many(queries)
+
 
 # --------------------------------------------------------------------------- #
 # the facade and the deprecation shim
