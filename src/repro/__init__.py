@@ -58,9 +58,12 @@ from repro.fairness import (
     CallableOracle,
     FairnessOracle,
     MultiAttributeOracle,
+    PairwiseParityOracle,
     PrefixProportionalOracle,
     ProportionalOracle,
     TopKGroupBoundOracle,
+    as_batched,
+    as_incremental,
 )
 from repro.io import load_engine, load_index, save_engine, save_index
 from repro.ranking import LinearScoringFunction
@@ -76,7 +79,10 @@ __all__ = [
     "ProportionalOracle",
     "TopKGroupBoundOracle",
     "MultiAttributeOracle",
+    "PairwiseParityOracle",
     "PrefixProportionalOracle",
+    "as_batched",
+    "as_incremental",
     "FairRankingDesigner",
     "DesignSession",
     "SuggestionResult",

@@ -38,7 +38,12 @@ from repro.exceptions import (
     NotPreprocessedError,
 )
 from repro.fairness.oracle import FairnessOracle
-from repro.geometry.angles import angular_distance_angles, to_angles, to_weights
+from repro.geometry.angles import (
+    angular_distance,
+    angular_distance_angles,
+    to_angles,
+    to_weights,
+)
 from repro.geometry.arrangement_tree import ArrangementTree
 from repro.geometry.cellplane import CellPlaneIndex, assign_hyperplanes_to_cells
 from repro.geometry.dual import HYPERPLANE_METHODS, hyperplanes_for_dataset
@@ -100,6 +105,11 @@ class MDApproxIndex:
     n_hyperplanes: int = 0
     oracle_calls: int = 0
     timings: PreprocessingTimings = field(default_factory=PreprocessingTimings)
+    #: Lazily built stack over the assigned cells (cell indices, weight rows,
+    #: row norms) backing the vectorised nearest-assigned fallback.
+    _assigned_stack_cache: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def n_cells(self) -> int:
@@ -119,6 +129,87 @@ class MDApproxIndex:
     def approximation_bound(self) -> float:
         """Theorem 6 bound on the extra angular distance of the returned answers."""
         return theorem6_bound(self.n_cells, self.dataset.n_attributes)
+
+    def _assigned_stack(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stack the assigned cells once: ``(cell indices, weight rows, row norms)``.
+
+        Built lazily on the first nearest-assigned lookup and cached; mutating
+        ``assigned_angles`` afterwards requires building a fresh index (which
+        is what every refresh/load path does).
+        """
+        cache = self._assigned_stack_cache
+        if cache is None:
+            cells = np.asarray(
+                [
+                    cell_index
+                    for cell_index, angles in enumerate(self.assigned_angles)
+                    if angles is not None
+                ],
+                dtype=int,
+            )
+            weights = (
+                np.stack(
+                    [
+                        to_weights(np.asarray(self.assigned_angles[cell_index], dtype=float))
+                        for cell_index in cells.tolist()
+                    ]
+                )
+                if cells.size
+                else np.zeros((0, self.dataset.n_attributes))
+            )
+            norms = np.asarray([float(np.linalg.norm(row)) for row in weights])
+            cache = (cells, weights, norms)
+            self._assigned_stack_cache = cache
+        return cache
+
+    def _nearest_assigned_position(self, query_angles: np.ndarray) -> int:
+        """Stack position (into :meth:`_assigned_stack`) of the nearest assigned cell.
+
+        One stacked matmul + argmin instead of an O(n_cells) Python scan, and
+        the chosen cell is exactly the one the scan's ``min`` would pick: the
+        cosines are bit-identical to the scalar
+        :func:`~repro.geometry.angles.angular_distance` cosines (the stacked
+        ``np.matmul`` applies the same per-row dot kernel), and the rare
+        near-maximal cosines — within the ``acos`` rounding margin of the best
+        — are re-scored with the scalar distance itself, first minimum wins.
+        """
+        cells, weights, norms = self._assigned_stack()
+        if cells.size == 0:
+            raise NoSatisfactoryFunctionError(
+                "no scoring function satisfies the fairness constraint on this dataset"
+            )
+        query_angles = np.asarray(query_angles, dtype=float)
+        query_weights = to_weights(query_angles)
+        dots = np.matmul(
+            weights[:, None, :],
+            np.broadcast_to(
+                query_weights[:, None], (weights.shape[0], query_weights.size, 1)
+            ),
+        )[:, 0, 0]
+        cosines = np.clip(dots / (norms * float(np.linalg.norm(query_weights))), -1.0, 1.0)
+        # acos is monotone with at most ~2 ulp of rounding, so only cosines
+        # within this margin of the maximum can tie for the minimal distance.
+        near = np.flatnonzero(cosines >= np.max(cosines) - 1e-13)
+        best = int(near[0])
+        if near.size > 1:
+            best = min(
+                (
+                    (angular_distance(weights[candidate], query_weights), candidate)
+                    for candidate in near.tolist()
+                ),
+                key=lambda pair: pair[0],
+            )[1]
+        return best
+
+    def nearest_assigned_angles(self, query_angles: np.ndarray) -> np.ndarray:
+        """Assigned angle vector of the cell nearest to ``query_angles``.
+
+        The fallback for queries landing in cells the colouring could not
+        reach; see :meth:`_nearest_assigned_position` for the equivalence
+        argument against the seed's per-cell scan.
+        """
+        cells, _weights, _norms = self._assigned_stack()
+        return self.assigned_angles[int(cells[self._nearest_assigned_position(query_angles)])]
 
     def query(self, function: LinearScoringFunction) -> SuggestionResult:
         """Answer a query using the cell index (Algorithm 11, ``MDONLINE``)."""
@@ -193,16 +284,22 @@ class ApproximatePreprocessor:
     # pipeline steps
     # ------------------------------------------------------------------ #
     def build_hyperplanes(self) -> list[Hyperplane]:
-        """Construct the exchange hyperplanes (optionally filtered / capped)."""
+        """Construct the exchange hyperplanes (optionally filtered / capped).
+
+        ``max_hyperplanes`` is pushed into the chunked enumeration of
+        :func:`~repro.geometry.dual.hyperplanes_for_dataset`, so a capped
+        sweep stops constructing as soon as the cap is reached instead of
+        building all O(n²) hyperplanes and slicing afterwards.
+        """
         item_indices = None
         if self.convex_layer_k is not None:
             item_indices = topk_candidate_indices(self.dataset.scores, self.convex_layer_k)
-        hyperplanes = hyperplanes_for_dataset(
-            self.dataset, item_indices, method=self.hyperplane_method
+        return hyperplanes_for_dataset(
+            self.dataset,
+            item_indices,
+            method=self.hyperplane_method,
+            max_hyperplanes=self.max_hyperplanes,
         )
-        if self.max_hyperplanes is not None:
-            hyperplanes = hyperplanes[: self.max_hyperplanes]
-        return hyperplanes
 
     def run(self) -> MDApproxIndex:
         """Execute the full preprocessing pipeline and return the cell index."""
@@ -382,12 +479,7 @@ def md_online_lookup(index: MDApproxIndex, function: LinearScoringFunction) -> S
     cell_index = index.partition.locate(query_angles)
     assigned = index.assigned_angles[cell_index]
     if assigned is None:
-        candidates = [
-            (angular_distance_angles(angles, query_angles), angles)
-            for angles in index.assigned_angles
-            if angles is not None
-        ]
-        assigned = min(candidates, key=lambda pair: pair[0])[1]
+        assigned = index.nearest_assigned_angles(query_angles)
     suggestion = LinearScoringFunction(tuple(to_weights(assigned, radius=radius)))
     return SuggestionResult(
         query=function,

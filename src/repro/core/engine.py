@@ -16,13 +16,18 @@ one is behind a query.  This module gives every pipeline the same shape:
 
 ``suggest_many`` is the batch entry point for serving-shaped workloads: the
 2-D engine classifies a whole weight matrix with one ``searchsorted`` over the
-cached interval-start array, and the approximate engine locates all
-unsatisfactory queries' cells in vectorised chunks.  Both return exactly what
-a Python loop over ``suggest`` would — same objects, bit-identical numbers —
-so batching is a pure throughput optimisation.
+cached interval-start array, and the approximate engine answers the per-query
+oracle pre-check through the batched oracle protocol
+(:mod:`repro.fairness.batched`) and locates all unsatisfactory queries' cells
+in vectorised chunks.  Both return exactly what a Python loop over ``suggest``
+would — same objects, bit-identical numbers — so batching is a pure
+throughput optimisation.
 """
 
 from __future__ import annotations
+
+import math
+import warnings
 
 import numpy as np
 
@@ -39,8 +44,9 @@ from repro.exceptions import (
     NoSatisfactoryFunctionError,
     NotPreprocessedError,
 )
+from repro.fairness.batched import evaluate_functions_many
 from repro.fairness.oracle import FairnessOracle
-from repro.geometry.angles import angular_distance_angles, to_angles, to_weights
+from repro.geometry.angles import to_angles_many, to_weights
 from repro.geometry.partition import locate_cells
 from repro.ranking.scoring import LinearScoringFunction
 
@@ -432,9 +438,19 @@ class _EngineBase:
             raise ConfigurationError(
                 f"payload holds a {payload.get('engine')!r} engine, expected {cls.name!r}"
             )
+        config_payload = payload.get("config", {})
         known = {field.name for field in fields(cls.config_type)}
+        unknown = sorted(set(config_payload) - known)
+        if unknown:
+            warnings.warn(
+                f"ignoring unknown {cls.config_type.__name__} key(s) in the engine "
+                f"payload: {', '.join(unknown)} (the payload may come from a newer "
+                "version of this library)",
+                UserWarning,
+                stacklevel=2,
+            )
         config = cls.config_type(
-            **{key: value for key, value in payload.get("config", {}).items() if key in known}
+            **{key: value for key, value in config_payload.items() if key in known}
         )
         dataset = dataset_from_dict(payload["preprocessing_dataset"])
         engine = cls(dataset, oracle, config)
@@ -542,14 +558,19 @@ class ApproxEngine(_EngineBase):
         return md_online(self.index, function)
 
     def suggest_many(self, weights_matrix) -> list[SuggestionResult]:
-        """Batched ``MDONLINE``: per-query oracle pre-check, chunked cell lookups.
+        """Batched ``MDONLINE``: batched oracle pre-check, chunked cell lookups.
 
-        Line 1 of Algorithm 11 (is the query itself satisfactory?) is a
-        black-box oracle call and stays per query, exactly as ``md_online``
-        makes it.  The index part — locating each remaining query's cell — is
-        done in vectorised chunks over the partition instead of one Python
-        ``locate`` per query.  Results are bit-identical to looping
-        :meth:`suggest`.
+        Line 1 of Algorithm 11 (is the query itself satisfactory?) goes to the
+        oracle as one batch: when the oracle supports the batched protocol
+        (:func:`repro.fairness.batched.as_batched`), the whole weight matrix
+        is ordered with one stacked matmul + argsort
+        (:func:`repro.ranking.scoring.order_many`) and judged with one
+        ``is_satisfactory_many`` — bit-identical verdicts to the per-query
+        calls ``md_online`` makes, which remain the fallback for black-box
+        oracles.  The index part — locating each remaining query's cell — is
+        done in vectorised chunks over the partition, with the
+        nearest-assigned fallback answered from the index's cached assigned
+        stack.  Results are bit-identical to looping :meth:`suggest`.
         """
         matrix = self._as_matrix(weights_matrix)
         index = self.index
@@ -557,52 +578,75 @@ class ApproxEngine(_EngineBase):
             raise NotPreprocessedError(
                 "run ApproximatePreprocessor before issuing online queries"
             )
+        # One vectorised validation pass covers the whole batch, so function
+        # construction can use the trusted constructor; rows that would fail
+        # validation go through the normal constructor and raise exactly what
+        # the scalar path raises.
+        trusted = bool(
+            np.all(np.isfinite(matrix))
+            and not np.any(matrix < 0)
+            and np.all(np.any(matrix > 0, axis=1))
+        )
+        make_function = (
+            LinearScoringFunction._from_trusted if trusted else LinearScoringFunction
+        )
+        functions = [make_function(tuple(row)) for row in matrix.tolist()]
+        satisfactory = evaluate_functions_many(
+            index.oracle, index.dataset, functions, weight_matrix=matrix
+        )
         results: list[SuggestionResult | None] = [None] * matrix.shape[0]
-        pending: list[tuple[int, LinearScoringFunction, np.ndarray, float]] = []
-        for position, row in enumerate(matrix.tolist()):
-            function = LinearScoringFunction(tuple(row))
-            if index.oracle.evaluate_function(function, index.dataset):
-                results[position] = SuggestionResult(
-                    query=function, satisfactory=True, function=function, angular_distance=0.0
-                )
-            else:
-                weights = function.as_array()
-                pending.append(
-                    (position, function, to_angles(weights), float(np.linalg.norm(weights)))
-                )
-        if pending and not index.has_satisfactory_function:
+        for position in np.flatnonzero(satisfactory).tolist():
+            function = functions[position]
+            results[position] = SuggestionResult(function, True, function, 0.0)
+        pending = np.flatnonzero(~satisfactory)
+        if pending.size == 0:
+            return results  # type: ignore[return-value]
+        if not index.has_satisfactory_function:
             raise NoSatisfactoryFunctionError(
                 "no scoring function satisfies the fairness constraint on this dataset"
             )
-        # Hoisted once for the whole batch: the nearest-assigned fallback for
-        # queries landing in cells the colouring could not reach (only the
-        # per-query distances depend on the query, not this list).
-        assigned_candidates = [
-            angles for angles in index.assigned_angles if angles is not None
-        ]
+        # Vectorised Algorithm 11 tail, bit-identical step for step to
+        # md_online_lookup: angles via the batched to_angles kernel, radii via
+        # the same dot+sqrt the scalar norm computes, cell location in chunks,
+        # and distances from stacked per-row dot products finished with the
+        # scalar math.acos (np.arccos rounds differently on ~9% of inputs).
+        pending_weights = matrix[pending]
+        angle_matrix = to_angles_many(pending_weights)
+        radii = np.sqrt(
+            np.matmul(pending_weights[:, None, :], pending_weights[:, :, None])[:, 0, 0]
+        )
+        located = np.empty(pending.size, dtype=int)
         chunk = self.lookup_chunk_size
-        for start in range(0, len(pending), chunk):
-            batch = pending[start : start + chunk]
-            angle_matrix = np.asarray([angles for _, _, angles, _ in batch], dtype=float)
-            cell_indices = locate_cells(index.partition, angle_matrix)
-            for (position, function, query_angles, radius), cell in zip(batch, cell_indices):
-                assigned = index.assigned_angles[int(cell)]
-                if assigned is None:
-                    # Same nearest-assigned fallback as md_online_lookup.
-                    candidates = [
-                        (angular_distance_angles(angles, query_angles), angles)
-                        for angles in assigned_candidates
-                    ]
-                    assigned = min(candidates, key=lambda pair: pair[0])[1]
-                suggestion = LinearScoringFunction(tuple(to_weights(assigned, radius=radius)))
-                results[position] = SuggestionResult(
-                    query=function,
-                    satisfactory=False,
-                    function=suggestion,
-                    angular_distance=angular_distance_angles(
-                        query_angles, np.asarray(assigned)
-                    ),
-                )
+        for start in range(0, pending.size, chunk):
+            located[start : start + chunk] = locate_cells(
+                index.partition, angle_matrix[start : start + chunk]
+            )
+        # Map each located cell to its row in the index's assigned stack; the
+        # cells the colouring could not reach take the nearest-assigned
+        # fallback, exactly as md_online_lookup does.
+        stack_cells, stack_weights, stack_norms = index._assigned_stack()
+        stack_position_of_cell = np.full(index.n_cells, -1, dtype=int)
+        stack_position_of_cell[stack_cells] = np.arange(stack_cells.size)
+        stack_positions = stack_position_of_cell[located]
+        for row in np.flatnonzero(stack_positions < 0).tolist():
+            stack_positions[row] = index._nearest_assigned_position(angle_matrix[row])
+        assigned_rows = stack_weights[stack_positions]
+        # Scalar reference: angular_distance(to_weights(query), to_weights(assigned)).
+        query_units = np.stack([to_weights(row) for row in angle_matrix])
+        query_norms = np.sqrt(
+            np.matmul(query_units[:, None, :], query_units[:, :, None])[:, 0, 0]
+        )
+        dots = np.matmul(query_units[:, None, :], assigned_rows[:, :, None])[:, 0, 0]
+        cosines = np.clip(dots / (query_norms * stack_norms[stack_positions]), -1.0, 1.0)
+        # to_weights(assigned, radius) is radius * to_weights(assigned): the
+        # stacked unit rows scale to the suggestion weights elementwise.
+        suggestion_rows = (assigned_rows * radii[:, None]).tolist()
+        acos = math.acos
+        for row, position in enumerate(pending.tolist()):
+            suggestion = make_function(tuple(suggestion_rows[row]))
+            results[position] = SuggestionResult(
+                functions[position], False, suggestion, acos(cosines[row])
+            )
         return results  # type: ignore[return-value]
 
     @classmethod

@@ -31,6 +31,7 @@ from repro.core.approx import ApproximatePreprocessor, MDApproxIndex
 from repro.core.two_dim import TwoDIndex
 from repro.data.dataset import Dataset
 from repro.exceptions import ConfigurationError
+from repro.fairness.batched import evaluate_functions_many
 from repro.fairness.oracle import FairnessOracle
 from repro.geometry.angles import to_weights
 from repro.ranking.scoring import LinearScoringFunction
@@ -117,19 +118,22 @@ def check_approx_index_freshness(
         chosen = rng.choice(len(assigned_cells), size=sample_cells, replace=False)
         assigned_cells = sorted(assigned_cells[position] for position in chosen)
 
-    stale: list[int] = []
-    oracle_calls = 0
-    for cell_index in assigned_cells:
-        angles = index.assigned_angles[cell_index]
-        function = LinearScoringFunction(tuple(to_weights(np.asarray(angles, dtype=float))))
-        oracle_calls += 1
-        if not oracle.evaluate_function(function, dataset):
-            stale.append(cell_index)
+    # One batched refresh check when the oracle supports the batched protocol
+    # (one ordering matrix, one is_satisfactory_many); black-box oracles are
+    # re-checked cell by cell, bit-identically, with the same call count.
+    functions = [
+        LinearScoringFunction(
+            tuple(to_weights(np.asarray(index.assigned_angles[cell_index], dtype=float)))
+        )
+        for cell_index in assigned_cells
+    ]
+    verdicts = evaluate_functions_many(oracle, dataset, functions)
+    stale = [cell_index for cell_index, ok in zip(assigned_cells, verdicts) if not ok]
     return FreshnessReport(
         n_checked=len(assigned_cells),
         n_stale=len(stale),
         stale_indices=tuple(stale),
-        oracle_calls=oracle_calls,
+        oracle_calls=len(assigned_cells),
     )
 
 

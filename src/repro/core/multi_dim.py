@@ -25,6 +25,7 @@ from repro.exceptions import (
     NoSatisfactoryFunctionError,
     NotPreprocessedError,
 )
+from repro.fairness.batched import evaluate_functions_many
 from repro.fairness.oracle import FairnessOracle
 from repro.geometry.angles import HALF_PI, angular_distance_angles, to_angles, to_weights
 from repro.geometry.arrangement import Arrangement
@@ -132,12 +133,15 @@ class SatRegions:
             item_indices = None
             if self.convex_layer_k is not None:
                 item_indices = topk_candidate_indices(self.dataset.scores, self.convex_layer_k)
-            hyperplanes = hyperplanes_for_dataset(
-                self.dataset, item_indices, method=self.hyperplane_method
+            # The cap is honoured inside the chunked enumeration, so capped
+            # sweeps stop constructing early instead of building all O(n²)
+            # hyperplanes and slicing.
+            self._hyperplanes = hyperplanes_for_dataset(
+                self.dataset,
+                item_indices,
+                method=self.hyperplane_method,
+                max_hyperplanes=self.max_hyperplanes,
             )
-            if self.max_hyperplanes is not None:
-                hyperplanes = hyperplanes[: self.max_hyperplanes]
-            self._hyperplanes = hyperplanes
         return self._hyperplanes
 
     def run(self) -> MDExactIndex:
@@ -258,16 +262,35 @@ def md_baseline(
     # are chords of the true curved exchange loci, and ties break arbitrarily).
     # Verify with the oracle and, if needed, blend the point toward the region's
     # interior representative — which is satisfactory by construction — keeping
-    # the suggestion as close to optimal as the verification allows.
+    # the suggestion as close to optimal as the verification allows.  The
+    # candidates advance through the blend levels in lockstep so each level's
+    # probes go to the oracle as one batch (a batched oracle judges them with
+    # one is_satisfactory_many); every candidate is still evaluated at exactly
+    # the levels the per-candidate loop would reach, so oracle-call totals are
+    # unchanged.
     verified: list[tuple[float, np.ndarray]] = []
-    for _distance, candidate, satisfactory in candidates[:3]:
-        interior = np.asarray(satisfactory.representative_angles, dtype=float)
-        for blend in (0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0):
-            blended = (1.0 - blend) * candidate + blend * interior
-            suggestion = LinearScoringFunction(tuple(to_weights(blended, radius=radius)))
-            if oracle.evaluate_function(suggestion, dataset):
-                verified.append((angular_distance_angles(blended, query_angles), blended))
-                break
+    active = [
+        (candidate, np.asarray(satisfactory.representative_angles, dtype=float))
+        for _distance, candidate, satisfactory in candidates[:3]
+    ]
+    for blend in (0.0, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0):
+        if not active:
+            break
+        blended_points = [
+            (1.0 - blend) * candidate + blend * interior for candidate, interior in active
+        ]
+        probes = [
+            LinearScoringFunction(tuple(to_weights(point, radius=radius)))
+            for point in blended_points
+        ]
+        accepted = evaluate_functions_many(oracle, dataset, probes)
+        still_active = []
+        for pair, point, ok in zip(active, blended_points, accepted):
+            if ok:
+                verified.append((angular_distance_angles(point, query_angles), point))
+            else:
+                still_active.append(pair)
+        active = still_active
     # Region representatives are satisfactory by construction; they both serve
     # as a fallback and cap the suggestion distance from above.
     for satisfactory in index.satisfactory_regions:

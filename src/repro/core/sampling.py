@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.approx import ApproximatePreprocessor, MDApproxIndex
 from repro.data.dataset import Dataset
 from repro.exceptions import ConfigurationError
+from repro.fairness.batched import evaluate_functions_many
 from repro.fairness.oracle import FairnessOracle
 from repro.geometry.angles import to_weights
 from repro.ranking.scoring import LinearScoringFunction
@@ -84,7 +85,10 @@ def validate_index_on_dataset(
 
     This reproduces the §6.4 validation: order the full dataset by each
     function the sample-based preprocessing assigned to a cell, and count how
-    many of those orderings the oracle accepts.
+    many of those orderings the oracle accepts.  The orderings go to the
+    oracle as one batch when it supports the batched protocol
+    (:func:`repro.fairness.batched.as_batched`); black-box oracles are checked
+    function by function, bit-identically.
     """
     oracle = oracle if oracle is not None else index.oracle
     distinct: list[np.ndarray] = []
@@ -93,11 +97,8 @@ def validate_index_on_dataset(
             continue
         if not any(np.allclose(angles, existing) for existing in distinct):
             distinct.append(np.asarray(angles, dtype=float))
-    satisfactory = 0
-    for angles in distinct:
-        function = LinearScoringFunction(tuple(to_weights(angles)))
-        if oracle.evaluate_function(function, dataset):
-            satisfactory += 1
+    functions = [LinearScoringFunction(tuple(to_weights(angles))) for angles in distinct]
+    verdicts = evaluate_functions_many(oracle, dataset, functions)
     return SampleValidationReport(
-        n_functions_checked=len(distinct), n_satisfactory=satisfactory
+        n_functions_checked=len(distinct), n_satisfactory=int(np.sum(verdicts))
     )

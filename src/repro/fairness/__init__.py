@@ -1,5 +1,11 @@
 """Fairness layer: oracles (FM1, FM2, prefix, composites), graded measures, audits and baselines."""
 
+from repro.fairness.batched import (
+    BatchedOracle,
+    as_batched,
+    evaluate_functions_many,
+    evaluate_many,
+)
 from repro.fairness.auditing import (
     RankingAudit,
     audit_function,
@@ -25,6 +31,7 @@ from repro.fairness.incremental import (
 from repro.fairness.multi_attribute import MultiAttributeOracle
 from repro.fairness.oracle import CallableOracle, CountingOracle, FairnessOracle
 from repro.fairness.pairwise import (
+    PairwiseParityOracle,
     mean_rank_gap,
     median_rank_gap,
     pairwise_parity_gap,
@@ -42,6 +49,11 @@ __all__ = [
     "as_incremental",
     "TopKGroupCounter",
     "PrefixGroupCounter",
+    "BatchedOracle",
+    "as_batched",
+    "evaluate_many",
+    "evaluate_functions_many",
+    "PairwiseParityOracle",
     "ProportionalOracle",
     "TopKGroupBoundOracle",
     "MultiAttributeOracle",

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.batched import evaluate_many, ordering_matrix
 from repro.fairness.incremental import as_incremental
 from repro.fairness.oracle import FairnessOracle
 
@@ -21,10 +22,11 @@ __all__ = ["AndOracle", "OrOracle", "NotOracle"]
 
 
 class _NaryOracle(FairnessOracle):
-    """Shared child handling and incremental plumbing of And/Or composites.
+    """Shared child handling and incremental/batched plumbing of And/Or composites.
 
-    The incremental protocol is forwarded to every child; subclasses only
-    define how the child results combine.  Capable only when every child is.
+    The incremental protocol is forwarded to every child and the batched
+    protocol reduces the children's verdict vectors; subclasses only define
+    how the child results combine.  Capable only when every child is.
     """
 
     def __init__(self, children: Sequence[FairnessOracle]):
@@ -37,6 +39,11 @@ class _NaryOracle(FairnessOracle):
 
     def incremental_capable(self) -> bool:
         return all(as_incremental(child) is not None for child in self.children)
+
+    # No batched_capable: unlike the incremental protocol (whose begin/apply_swap
+    # must reach every child), the batched protocol is stateless, so the
+    # composite can batch its capable children and loop the black-box ones —
+    # evaluate_many handles each child's fallback.
 
     def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
         for child in self.children:
@@ -53,6 +60,25 @@ class AndOracle(_NaryOracle):
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         return all(child.is_satisfactory(ordering, dataset) for child in self.children)
 
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """AND of the children's verdict vectors (≡ a loop of ``is_satisfactory``).
+
+        Short-circuits per row exactly like the scalar ``all(...)``: each child
+        only sees the rows every earlier child accepted, so a counting child
+        (or one with side effects) observes the same per-row evaluation set —
+        and the same call totals — as the per-ordering loop.
+        """
+        orderings = ordering_matrix(orderings)
+        verdicts = np.ones(orderings.shape[0], dtype=bool)
+        remaining = np.arange(orderings.shape[0])
+        for child in self.children:
+            if remaining.size == 0:
+                break
+            child_verdicts = evaluate_many(child, orderings[remaining], dataset)
+            verdicts[remaining[~child_verdicts]] = False
+            remaining = remaining[child_verdicts]
+        return verdicts
+
     def verdict(self) -> bool:
         return all(child.verdict() for child in self.children)
 
@@ -65,6 +91,24 @@ class OrOracle(_NaryOracle):
 
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         return any(child.is_satisfactory(ordering, dataset) for child in self.children)
+
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """OR of the children's verdict vectors (≡ a loop of ``is_satisfactory``).
+
+        Short-circuits per row exactly like the scalar ``any(...)``: each child
+        only sees the rows every earlier child rejected, keeping counting
+        children's call totals equal to the per-ordering loop's.
+        """
+        orderings = ordering_matrix(orderings)
+        verdicts = np.zeros(orderings.shape[0], dtype=bool)
+        remaining = np.arange(orderings.shape[0])
+        for child in self.children:
+            if remaining.size == 0:
+                break
+            child_verdicts = evaluate_many(child, orderings[remaining], dataset)
+            verdicts[remaining[child_verdicts]] = True
+            remaining = remaining[~child_verdicts]
+        return verdicts
 
     def verdict(self) -> bool:
         return any(child.verdict() for child in self.children)
@@ -83,6 +127,15 @@ class NotOracle(FairnessOracle):
 
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         return not self.child.is_satisfactory(ordering, dataset)
+
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Negated child verdict vector (≡ a loop of ``is_satisfactory``).
+
+        No ``batched_capable`` probe: ``evaluate_many`` falls back to a
+        per-row loop for a black-box child, so the wrapper stays usable as a
+        batched oracle either way.
+        """
+        return ~evaluate_many(self.child, orderings, dataset)
 
     # incremental protocol: capable only when the child is.
     def incremental_capable(self) -> bool:

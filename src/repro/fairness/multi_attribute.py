@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.batched import as_batched, evaluate_many
 from repro.fairness.composite import AndOracle
 from repro.fairness.oracle import FairnessOracle
 from repro.fairness.proportional import ProportionalOracle, TopKGroupBoundOracle
@@ -102,6 +103,14 @@ class MultiAttributeOracle(FairnessOracle):
 
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         return self._inner.is_satisfactory(ordering, dataset)
+
+    # batched protocol: FM2 is a conjunction, so delegate to it wholesale.
+    def batched_capable(self) -> bool:
+        return as_batched(self._inner) is not None
+
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Verdict vector of the underlying conjunction (≡ a loop of ``is_satisfactory``)."""
+        return evaluate_many(self._inner, orderings, dataset)
 
     # incremental protocol: FM2 is a conjunction, so delegate to it wholesale.
     def incremental_capable(self) -> bool:

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.batched import as_batched, evaluate_many, ordering_matrix
 from repro.fairness.incremental import as_incremental
 from repro.ranking.scoring import LinearScoringFunction
 
@@ -90,22 +91,59 @@ class CountingOracle(FairnessOracle):
         return self.inner.is_satisfactory(ordering, dataset)
 
     # ------------------------------------------------------------------ #
+    # batched protocol: forward to the wrapped oracle, counting one call per
+    # ordering so batched workloads report the same oracle-call numbers a
+    # per-query loop would.
+    # ------------------------------------------------------------------ #
+    def batched_capable(self) -> bool:
+        return as_batched(self.inner) is not None
+
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        orderings = ordering_matrix(orderings)
+        self.calls += orderings.shape[0]
+        return evaluate_many(self.inner, orderings, dataset)
+
+    # ------------------------------------------------------------------ #
     # incremental protocol: forward to the wrapped oracle, counting one call
     # per verdict so sweep-style algorithms report the same oracle-call
-    # numbers whether they run incrementally or as a black box.
+    # numbers whether they run incrementally or as a black box.  The wrapped
+    # oracle may not implement the protocol at all (``incremental_capable``
+    # then reports False); forwarding is guarded so a direct call fails with
+    # a clear error instead of an ``AttributeError``.
     # ------------------------------------------------------------------ #
     def incremental_capable(self) -> bool:
         return as_incremental(self.inner) is not None
 
+    def _incremental_inner(self):
+        inner = getattr(self, "_incremental_delegate", None)
+        if inner is None:
+            raise OracleError(
+                "the oracle wrapped by CountingOracle does not support the "
+                "incremental protocol (or begin() has not run); evaluate it "
+                "as a black box via is_satisfactory instead"
+            )
+        return inner
+
     def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
-        self.inner.begin(ordering, dataset)
+        inner = as_incremental(self.inner)
+        if inner is None:
+            raise OracleError(
+                "the oracle wrapped by CountingOracle does not support the "
+                "incremental protocol; evaluate it as a black box via "
+                "is_satisfactory instead"
+            )
+        # Cache the probed delegate so the per-swap hot path stays a plain
+        # attribute lookup instead of re-running the capability probe.
+        self._incremental_delegate = inner
+        inner.begin(ordering, dataset)
 
     def apply_swap(self, pos_i: int, pos_j: int) -> None:
-        self.inner.apply_swap(pos_i, pos_j)
+        self._incremental_inner().apply_swap(pos_i, pos_j)
 
     def verdict(self) -> bool:
+        inner = self._incremental_inner()
         self.calls += 1
-        return self.inner.verdict()
+        return inner.verdict()
 
     def reset(self) -> None:
         """Reset the call counter."""

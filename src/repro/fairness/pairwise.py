@@ -9,7 +9,9 @@ fairness concern is about systematic placement rather than a single cut-off.
 
 All functions take an ordering (item indices, best first), the dataset, the
 type attribute and the protected group value, mirroring the signature style of
-the prefix-based measures.
+the prefix-based measures.  :class:`PairwiseParityOracle` turns the parity-gap
+measure into a fairness oracle so the whole-ordering criterion can drive the
+region/cell pipelines like any prefix constraint.
 """
 
 from __future__ import annotations
@@ -18,6 +20,8 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.batched import ordering_matrix
+from repro.fairness.oracle import FairnessOracle
 
 __all__ = [
     "protected_above_rate",
@@ -25,6 +29,7 @@ __all__ = [
     "rank_biserial_correlation",
     "mean_rank_gap",
     "median_rank_gap",
+    "PairwiseParityOracle",
 ]
 
 
@@ -121,3 +126,71 @@ def median_rank_gap(
     return float(
         np.median(normalised[protected_mask]) - np.median(normalised[~protected_mask])
     )
+
+
+class PairwiseParityOracle(FairnessOracle):
+    """Accept orderings whose pairwise parity gap stays within a tolerance.
+
+    An ordering is satisfactory when
+    ``pairwise_parity_gap(dataset, ordering, attribute, protected) <= max_gap``
+    — i.e. the protected group's win rate over all (protected, other) pairs
+    stays within ``max_gap`` of the parity value 0.5.  Unlike the prefix
+    constraints this criterion reads the *whole* ordering, which exercises the
+    black-box generality of the paper's oracle model (§7).
+
+    Parameters
+    ----------
+    attribute:
+        Type-attribute name (for example ``"sex"``).
+    protected:
+        The protected group.
+    max_gap:
+        Largest tolerated deviation from parity, in ``[0, 0.5]``.
+    """
+
+    def __init__(self, attribute: str, protected, max_gap: float = 0.1) -> None:
+        if not 0.0 <= max_gap <= 0.5:
+            raise OracleError(f"max_gap must lie in [0, 0.5], got {max_gap}")
+        self.attribute = attribute
+        self.protected = protected
+        self.max_gap = max_gap
+
+    def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
+        gap = pairwise_parity_gap(dataset, ordering, self.attribute, self.protected)
+        return gap <= self.max_gap
+
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Verdict per row of a ``(q, n)`` ordering stack (≡ a loop of ``is_satisfactory``).
+
+        All rank permutations are inverted with one scatter and the per-row
+        protected rank sums come from one contiguous reduction, which matches
+        the scalar ``np.sum`` over the gathered ranks bit for bit.
+        """
+        orderings = ordering_matrix(orderings)
+        n_rows, n = orderings.shape
+        if n != dataset.n_items:
+            raise OracleError("pairwise measures need a full ordering of the dataset")
+        column = dataset.type_column(self.attribute)
+        protected_mask = column == self.protected
+        if not np.any(protected_mask) or np.all(protected_mask):
+            raise OracleError("both the protected group and its complement must be non-empty")
+        ranks = np.empty((n_rows, n), dtype=float)
+        ranks[np.arange(n_rows)[:, None], orderings] = np.arange(n, dtype=float)[None, :]
+        n_protected = int(np.sum(protected_mask))
+        n_other = n - n_protected
+        # The boolean-mask gather is not C-contiguous row-wise; the contiguous
+        # copy makes the axis reduction apply the same kernel as the scalar
+        # 1-D np.sum, keeping the sums (hence the verdicts) bit-identical.
+        rank_sums = (
+            np.ascontiguousarray(ranks[:, protected_mask]).sum(axis=1) + n_protected
+        )
+        u_statistics = rank_sums - n_protected * (n_protected + 1) / 2.0
+        wins = n_protected * n_other - u_statistics
+        rates = wins / (n_protected * n_other)
+        return np.abs(rates - 0.5) <= self.max_gap
+
+    def describe(self) -> str:
+        return (
+            f"PairwiseParity({self.attribute}={self.protected} "
+            f"within {self.max_gap:.0%} of parity)"
+        )

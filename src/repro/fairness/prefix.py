@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.batched import ordering_matrix
 from repro.fairness.incremental import PrefixGroupCounter
 from repro.fairness.oracle import FairnessOracle
 from repro.ranking.topk import resolve_k
@@ -40,6 +41,19 @@ def _protected_prefix_counts(
     column = dataset.type_column(attribute)
     member = (column[ordering[:k]] == protected).astype(int)
     return np.cumsum(member)
+
+
+def _protected_prefix_count_matrix(
+    dataset: Dataset, orderings: np.ndarray, attribute: str, protected, k: int
+) -> np.ndarray:
+    """Batched :func:`_protected_prefix_counts`: one ``(q, k)`` count matrix.
+
+    Row ``i`` equals ``_protected_prefix_counts(dataset, orderings[i], ...)``
+    exactly — integer cumulative sums are order-independent bit-for-bit.
+    """
+    column = dataset.type_column(attribute)
+    member = (column[orderings[:, :k]] == protected).astype(int)
+    return np.cumsum(member, axis=1)
 
 
 class PrefixProportionalOracle(FairnessOracle):
@@ -147,6 +161,27 @@ class PrefixProportionalOracle(FairnessOracle):
         return True
 
     # ------------------------------------------------------------------ #
+    # batched protocol (query-batch hot path)
+    # ------------------------------------------------------------------ #
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Verdict per row of a ``(q, n)`` ordering stack (≡ a loop of ``is_satisfactory``)."""
+        orderings = ordering_matrix(orderings)
+        k = resolve_k(dataset, self.k)
+        counts = _protected_prefix_count_matrix(
+            dataset, orderings, self.attribute, self.protected, k
+        )
+        prefix_lengths = np.arange(1, k + 1)
+        enforced = prefix_lengths >= self.min_prefix
+        verdicts = np.ones(orderings.shape[0], dtype=bool)
+        if self.min_fraction is not None:
+            required = np.ceil(self.min_fraction * prefix_lengths - 1e-9)
+            verdicts &= ~np.any(enforced & (counts < required), axis=1)
+        if self.max_fraction is not None:
+            allowed = np.floor(self.max_fraction * prefix_lengths + 1e-9)
+            verdicts &= ~np.any(enforced & (counts > allowed), axis=1)
+        return verdicts
+
+    # ------------------------------------------------------------------ #
     # incremental protocol (sweep hot path)
     # ------------------------------------------------------------------ #
     def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
@@ -235,6 +270,19 @@ class MinimumAtEveryPrefixOracle(FairnessOracle):
         prefix_lengths = np.arange(1, k + 1)
         required = np.ceil(self.target_fraction * prefix_lengths - 1e-9)
         return bool(np.all(counts >= required))
+
+    # ------------------------------------------------------------------ #
+    # batched protocol (query-batch hot path)
+    # ------------------------------------------------------------------ #
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Verdict per row of a ``(q, n)`` ordering stack (≡ a loop of ``is_satisfactory``)."""
+        orderings = ordering_matrix(orderings)
+        k = resolve_k(dataset, self.k)
+        counts = _protected_prefix_count_matrix(
+            dataset, orderings, self.attribute, self.protected, k
+        )
+        required = np.ceil(self.target_fraction * np.arange(1, k + 1) - 1e-9)
+        return np.all(counts >= required, axis=1)
 
     # ------------------------------------------------------------------ #
     # incremental protocol (sweep hot path)

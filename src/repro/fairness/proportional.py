@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.exceptions import OracleError
+from repro.fairness.batched import ordering_matrix
 from repro.fairness.incremental import TopKGroupCounter
 from repro.fairness.oracle import FairnessOracle
 from repro.ranking.topk import group_counts_at_k, resolve_k
@@ -110,6 +111,27 @@ class ProportionalOracle(FairnessOracle):
         return True
 
     # ------------------------------------------------------------------ #
+    # batched protocol (query-batch hot path)
+    # ------------------------------------------------------------------ #
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Verdict per row of a ``(q, n)`` ordering stack (≡ a loop of ``is_satisfactory``).
+
+        One boolean gather counts the group's members in every row's top-``k``
+        prefix; the thresholds are the same rounded counts the scalar path
+        compares against, so the verdicts are exactly equal.
+        """
+        orderings = ordering_matrix(orderings)
+        k = resolve_k(dataset, self.k)
+        member = np.asarray(dataset.type_column(self.attribute) == self.group)
+        counts = member[orderings[:, :k]].sum(axis=1)
+        verdicts = np.ones(orderings.shape[0], dtype=bool)
+        if self.min_fraction is not None:
+            verdicts &= counts >= math.ceil(self.min_fraction * k - 1e-9)
+        if self.max_fraction is not None:
+            verdicts &= counts <= math.floor(self.max_fraction * k + 1e-9)
+        return verdicts
+
+    # ------------------------------------------------------------------ #
     # incremental protocol (sweep hot path)
     # ------------------------------------------------------------------ #
     def begin(self, ordering: np.ndarray, dataset: Dataset) -> None:
@@ -183,6 +205,22 @@ class TopKGroupBoundOracle(FairnessOracle):
         if self.max_count is not None and count > self.max_count:
             return False
         return True
+
+    # ------------------------------------------------------------------ #
+    # batched protocol (query-batch hot path)
+    # ------------------------------------------------------------------ #
+    def is_satisfactory_many(self, orderings: np.ndarray, dataset: Dataset) -> np.ndarray:
+        """Verdict per row of a ``(q, n)`` ordering stack (≡ a loop of ``is_satisfactory``)."""
+        orderings = ordering_matrix(orderings)
+        k = resolve_k(dataset, self.k)
+        member = np.asarray(dataset.type_column(self.attribute) == self.group)
+        counts = member[orderings[:, :k]].sum(axis=1)
+        verdicts = np.ones(orderings.shape[0], dtype=bool)
+        if self.min_count is not None:
+            verdicts &= counts >= self.min_count
+        if self.max_count is not None:
+            verdicts &= counts <= self.max_count
+        return verdicts
 
     # ------------------------------------------------------------------ #
     # incremental protocol (sweep hot path)

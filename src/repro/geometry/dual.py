@@ -433,6 +433,7 @@ def hyperplanes_for_dataset(
     *,
     method: str = "batched",
     pair_chunk_size: int | None = None,
+    max_hyperplanes: int | None = None,
 ) -> list[Hyperplane]:
     """Construct every exchange hyperplane of a dataset through one entry point.
 
@@ -458,6 +459,13 @@ def hyperplanes_for_dataset(
         Rows per pair-enumeration block (see
         :func:`~repro.data.dominance.iter_exchange_pair_chunks`); defaults to
         an automatic bound that keeps the broadcast block near 64 MB.
+    max_hyperplanes:
+        Optional cap on the number of hyperplanes constructed.  The cap is
+        honoured *inside* the chunked enumeration — construction stops as soon
+        as the cap is reached, so a capped sweep never pays the full O(n²)
+        construction cost — and yields exactly the first ``max_hyperplanes``
+        hyperplanes of the uncapped enumeration order, identically for the
+        scalar and batched paths.
 
     Returns
     -------
@@ -483,6 +491,10 @@ def hyperplanes_for_dataset(
             f"unknown hyperplane construction method {method!r}; "
             f"expected one of {HYPERPLANE_METHODS}"
         )
+    if max_hyperplanes is not None and max_hyperplanes < 0:
+        raise GeometryError("max_hyperplanes must be non-negative")
+    if max_hyperplanes == 0:
+        return []
     if item_indices is None:
         indices = np.arange(dataset.n_items)
     else:
@@ -494,6 +506,8 @@ def hyperplanes_for_dataset(
     ):
         if position_pairs.shape[0] == 0:
             continue
+        if max_hyperplanes is not None:
+            position_pairs = position_pairs[: max_hyperplanes - len(hyperplanes)]
         global_pairs = indices[position_pairs]
         if method == "batched":
             hyperplanes.extend(hyperpolar_many(scores, global_pairs))
@@ -502,6 +516,8 @@ def hyperplanes_for_dataset(
                 hyperplanes.append(
                     _hyperpolar_unchecked(scores[i], scores[j], label=(i, j))
                 )
+        if max_hyperplanes is not None and len(hyperplanes) >= max_hyperplanes:
+            break
     return hyperplanes
 
 

@@ -1,7 +1,7 @@
 """Ranking model: linear scoring functions, orderings, top-k helpers and query workloads."""
 
 from repro.ranking.queries import perturbed_queries, random_queries, simplex_grid_queries
-from repro.ranking.scoring import LinearScoringFunction, random_scoring_function
+from repro.ranking.scoring import LinearScoringFunction, order_many, random_scoring_function
 from repro.ranking.topk import (
     group_counts_at_k,
     group_fraction_at_k,
@@ -12,6 +12,7 @@ from repro.ranking.topk import (
 
 __all__ = [
     "LinearScoringFunction",
+    "order_many",
     "random_scoring_function",
     "random_queries",
     "perturbed_queries",

@@ -18,7 +18,7 @@ from repro.data.dataset import Dataset
 from repro.exceptions import ScoringFunctionError
 from repro.geometry.angles import angular_distance, to_angles, to_weights
 
-__all__ = ["LinearScoringFunction", "random_scoring_function"]
+__all__ = ["LinearScoringFunction", "order_many", "random_scoring_function"]
 
 
 @dataclass(frozen=True)
@@ -158,6 +158,50 @@ class LinearScoringFunction:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         formatted = ", ".join(f"{value:.4g}" for value in self.weights)
         return f"LinearScoringFunction([{formatted}])"
+
+
+def order_many(dataset: Dataset, weight_matrix: np.ndarray) -> np.ndarray:
+    """Orderings induced by every row of a weight matrix, stacked as ``(q, n)``.
+
+    The batched counterpart of :meth:`LinearScoringFunction.order`: row ``i``
+    of the result is bit-identical to
+    ``LinearScoringFunction(tuple(weight_matrix[i])).order(dataset)``.  The
+    whole batch is scored with one stacked ``np.matmul`` over the
+    ``(q, n, d) @ (q, d, 1)`` broadcast — the gufunc applies the identical
+    per-matrix kernel that scores a single function, which is what keeps the
+    scores (and therefore the stable argsort) exactly equal to the scalar
+    path; a plain ``scores @ W.T`` GEMM accumulates in a different order and
+    can drift by an ulp.  One stable axis-wise argsort then orders every row.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to order.
+    weight_matrix:
+        ``(q, d)`` matrix of non-negative weight rows, ``d`` matching the
+        dataset's scoring attributes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(q, n)`` integer matrix; row ``i`` lists item indices by decreasing
+        score under ``weight_matrix[i]``, ties broken by ascending item index.
+
+    Raises
+    ------
+    ScoringFunctionError
+        If the matrix is not 2-D or its width does not match the dataset.
+    """
+    weight_matrix = np.asarray(weight_matrix, dtype=float)
+    if weight_matrix.ndim != 2 or weight_matrix.shape[1] != dataset.n_attributes:
+        raise ScoringFunctionError(
+            f"order_many expects a (q, {dataset.n_attributes}) weight matrix, "
+            f"got shape {weight_matrix.shape}"
+        )
+    score_matrix = np.matmul(
+        dataset.scores[None, :, :], weight_matrix[:, :, None]
+    )[..., 0]
+    return np.argsort(-score_matrix, axis=1, kind="stable")
 
 
 def random_scoring_function(

@@ -365,6 +365,20 @@ class TestPersistence:
         assert rebuilt.name == "2d"
         assert rebuilt.config == two_d_designer.config
 
+    def test_unknown_config_keys_warn_but_load(self, two_d_designer):
+        payload = two_d_designer.engine.to_payload()
+        payload["config"]["future_knob"] = 7
+        payload["config"]["another_knob"] = "x"
+        with pytest.warns(UserWarning, match="another_knob, future_knob"):
+            rebuilt = engine_from_payload(payload, two_d_designer.oracle)
+        assert rebuilt.config == two_d_designer.config
+
+    def test_known_config_keys_do_not_warn(self, two_d_designer):
+        payload = two_d_designer.engine.to_payload()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            engine_from_payload(payload, two_d_designer.oracle)
+
     def test_save_requires_preprocessing(self, md_dataset_oracle, tmp_path):
         dataset, oracle = md_dataset_oracle
         designer = FairRankingDesigner(dataset, oracle, ApproxConfig(n_cells=9))

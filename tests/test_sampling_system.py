@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.engine import ApproxConfig, ExactConfig, TwoDConfig
 from repro.core.sampling import preprocess_with_sampling, validate_index_on_dataset
 from repro.core.system import FairRankingDesigner
 from repro.data.synthetic import make_compas_like, make_dot_like
@@ -84,10 +85,11 @@ class TestFairRankingDesignerModes:
         )
         oracle = CallableOracle(lambda ordering, data: True, "always")
         with pytest.raises(ConfigurationError):
-            FairRankingDesigner(dataset_2d, oracle, mode="exact")
+            FairRankingDesigner(dataset_2d, oracle, ExactConfig())
         with pytest.raises(ConfigurationError):
-            FairRankingDesigner(dataset_3d, oracle, mode="2d")
-        with pytest.raises(ConfigurationError):
+            FairRankingDesigner(dataset_3d, oracle, TwoDConfig())
+        # The deprecated keyword shim still validates its mode string.
+        with pytest.warns(DeprecationWarning), pytest.raises(ConfigurationError):
             FairRankingDesigner(dataset_2d, oracle, mode="bogus")
 
     def test_query_before_preprocess_raises(self):
@@ -120,7 +122,7 @@ class TestFairRankingDesignerModes:
         )
         oracle = TopKGroupBoundOracle("race", "African-American", k=5, max_count=3)
         designer = FairRankingDesigner(
-            dataset, oracle, mode="exact", max_hyperplanes=20
+            dataset, oracle, ExactConfig(max_hyperplanes=20)
         ).preprocess()
         for query in random_queries(3, 5, seed=3):
             result = designer.suggest(query)
@@ -132,7 +134,7 @@ class TestFairRankingDesignerModes:
         )
         oracle = TopKGroupBoundOracle("race", "African-American", k=8, max_count=5)
         designer = FairRankingDesigner(
-            dataset, oracle, n_cells=25, max_hyperplanes=25
+            dataset, oracle, ApproxConfig(n_cells=25, max_hyperplanes=25)
         ).preprocess()
         for query in random_queries(3, 5, seed=4):
             result = designer.suggest(query)
@@ -145,7 +147,7 @@ class TestFairRankingDesignerModes:
         oracle = ProportionalOracle.at_most_share_plus_slack(
             dataset, "race", "African-American", k=0.3, slack=0.20
         )
-        designer = FairRankingDesigner(dataset, oracle, sample_size=50).preprocess()
+        designer = FairRankingDesigner(dataset, oracle, TwoDConfig(sample_size=50)).preprocess()
         assert designer.is_preprocessed
         if not designer.index.has_satisfactory_region:
             pytest.skip("constraint unsatisfiable for this sample")

@@ -7,6 +7,7 @@ import json
 import numpy as np
 import pytest
 
+from repro.core.engine import ApproxConfig, TwoDConfig
 from repro.core.monitoring import (
     FreshnessReport,
     check_approx_index_freshness,
@@ -25,7 +26,7 @@ from repro.ranking.scoring import LinearScoringFunction
 @pytest.fixture(scope="module")
 def session_designer(shared_compas_3d, shared_race_oracle_3d):
     designer = FairRankingDesigner(
-        shared_compas_3d, shared_race_oracle_3d, n_cells=64, max_hyperplanes=60
+        shared_compas_3d, shared_race_oracle_3d, ApproxConfig(n_cells=64, max_hyperplanes=60)
     )
     designer.preprocess()
     return designer
@@ -41,7 +42,9 @@ class TestDesignSession:
 
     def test_preprocesses_lazily(self, shared_compas_3d, shared_race_oracle_3d):
         designer = FairRankingDesigner(
-            shared_compas_3d, shared_race_oracle_3d, n_cells=16, max_hyperplanes=30
+            shared_compas_3d,
+            shared_race_oracle_3d,
+            ApproxConfig(n_cells=16, max_hyperplanes=30),
         )
         assert not designer.is_preprocessed
         DesignSession(designer)
@@ -139,7 +142,7 @@ class TestDesignSession:
 
     def test_works_with_two_d_designer(self, shared_two_d_index):
         dataset, oracle, _index = shared_two_d_index
-        designer = FairRankingDesigner(dataset, oracle, mode="2d")
+        designer = FairRankingDesigner(dataset, oracle, TwoDConfig())
         session = DesignSession(designer)
         record = session.propose([0.7, 0.3])
         assert record.result.angular_distance >= 0.0
