@@ -24,6 +24,11 @@ Typical use::
 Preprocessed designers persist with ``designer.save(path)`` and come back with
 ``FairRankingDesigner.load(path, oracle)``, answering bit-identically without
 re-preprocessing (see :mod:`repro.core.engine` for the engine protocol).
+Persisted files carry a checksum; a corrupted file raises a typed
+:class:`IndexIntegrityError` with a rebuild hint.  For serving against flaky
+oracles or with graceful degradation across pipelines, see
+:mod:`repro.resilience` (``ResilientOracle``, ``FallbackConfig``) and
+``docs/robustness.md``.
 """
 
 from repro.core import (
@@ -47,12 +52,17 @@ from repro.data import Dataset
 from repro.exceptions import (
     ConfigurationError,
     DatasetError,
+    FallbackExhaustedError,
     GeometryError,
+    IndexIntegrityError,
     NoSatisfactoryFunctionError,
     NotPreprocessedError,
     OracleError,
+    OracleTimeoutError,
+    OracleUnavailableError,
     ReproError,
     ScoringFunctionError,
+    TransientOracleError,
 )
 from repro.fairness import (
     CallableOracle,
@@ -67,8 +77,15 @@ from repro.fairness import (
 )
 from repro.io import load_engine, load_index, save_engine, save_index
 from repro.ranking import LinearScoringFunction
+from repro.resilience import (
+    CircuitBreaker,
+    FallbackConfig,
+    FallbackEngine,
+    ResilientOracle,
+    RetryPolicy,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -102,11 +119,21 @@ __all__ = [
     "MDExactIndex",
     "ApproximatePreprocessor",
     "MDApproxIndex",
+    "ResilientOracle",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FallbackConfig",
+    "FallbackEngine",
     "ReproError",
     "DatasetError",
     "ScoringFunctionError",
     "GeometryError",
     "OracleError",
+    "TransientOracleError",
+    "OracleTimeoutError",
+    "OracleUnavailableError",
+    "FallbackExhaustedError",
+    "IndexIntegrityError",
     "ConfigurationError",
     "NoSatisfactoryFunctionError",
     "NotPreprocessedError",

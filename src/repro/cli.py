@@ -42,6 +42,7 @@ from repro.experiments import (
     format_sweep,
     generate_figures,
 )
+from repro.exceptions import IndexIntegrityError, ReproError
 from repro.fairness.auditing import audit_function, format_audit
 from repro.fairness.proportional import ProportionalOracle
 from repro.ranking.scoring import LinearScoringFunction
@@ -166,7 +167,29 @@ def _run_suggest(args: argparse.Namespace) -> int:
     )
     if args.load_index:
         # Serve from a persisted engine: no dataset load, no preprocessing.
-        designer = FairRankingDesigner.load(args.load_index, oracle)
+        # Every load failure — missing file, corruption, a wrong-kind file —
+        # becomes an actionable message and a nonzero exit, never a traceback.
+        try:
+            designer = FairRankingDesigner.load(args.load_index, oracle)
+        except IndexIntegrityError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        except FileNotFoundError:
+            print(
+                f"error: engine file {args.load_index!r} does not exist; "
+                "create one with --save-index",
+                file=sys.stderr,
+            )
+            return 2
+        except IsADirectoryError:
+            print(
+                f"error: {args.load_index!r} is a directory, not an engine file",
+                file=sys.stderr,
+            )
+            return 2
+        except ReproError as error:
+            print(f"error: cannot load {args.load_index!r}: {error}", file=sys.stderr)
+            return 2
         dataset = designer.dataset
     else:
         dataset = _load_dataset(args)

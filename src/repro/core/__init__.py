@@ -29,9 +29,11 @@ from repro.core.explain import (
     format_explanation,
 )
 from repro.core.monitoring import (
+    ErrorBudgetReport,
     FreshnessReport,
     check_approx_index_freshness,
     check_two_d_index_freshness,
+    error_budget_report,
     refresh_approx_index,
 )
 from repro.core.multi_dim import MDExactIndex, SatisfactoryRegion, SatRegions, md_baseline
@@ -80,6 +82,8 @@ __all__ = [
     "check_approx_index_freshness",
     "check_two_d_index_freshness",
     "refresh_approx_index",
+    "ErrorBudgetReport",
+    "error_budget_report",
     "DesignSession",
     "ProposalRecord",
     "SessionSummary",

@@ -240,6 +240,23 @@ class QueryEngine(Protocol):
 _ENGINE_REGISTRY: dict[str, type] = {}
 _CONFIG_TO_NAME: dict[type, str] = {}
 
+_PLUGINS_LOADED = False
+
+
+def _load_builtin_plugins() -> None:
+    """Import engine modules that live outside this one (lazily, once).
+
+    The resilience layer registers its :class:`FallbackEngine` through the
+    ordinary registry but imports this module to do so; deferring its import
+    to the first registry *lookup* keeps the modules acyclic while making
+    ``"fallback"`` a first-class registered engine.
+    """
+    global _PLUGINS_LOADED
+    if _PLUGINS_LOADED:
+        return
+    _PLUGINS_LOADED = True
+    import repro.resilience.fallback  # noqa: F401  (registers on import)
+
 
 def register_engine(name: str, config_type: type):
     """Class decorator registering an engine under ``name`` with its config type."""
@@ -260,8 +277,9 @@ def available_engines() -> tuple[str, ...]:
     """Names of all registered engines.
 
     >>> available_engines()
-    ('2d', 'exact', 'approximate')
+    ('2d', 'exact', 'approximate', 'fallback')
     """
+    _load_builtin_plugins()
     return tuple(_ENGINE_REGISTRY)
 
 
@@ -271,6 +289,7 @@ def get_engine(name: str) -> type:
     >>> get_engine("2d").__name__
     'TwoDEngine'
     """
+    _load_builtin_plugins()
     try:
         return _ENGINE_REGISTRY[name]
     except KeyError:
@@ -285,6 +304,7 @@ def engine_name_for_config(config: EngineConfig) -> str:
     >>> engine_name_for_config(ApproxConfig())
     'approximate'
     """
+    _load_builtin_plugins()
     try:
         return _CONFIG_TO_NAME[type(config)]
     except KeyError:

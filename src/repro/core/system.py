@@ -13,7 +13,10 @@ typed configuration dataclass —
 * :class:`~repro.core.engine.ExactConfig` — ``SATREGIONS`` + ``MDBASELINE``
   (§4), exact but slower;
 * :class:`~repro.core.engine.ApproxConfig` — the §5 grid pipeline with the
-  Theorem 6 guarantee (the default for three or more attributes).
+  Theorem 6 guarantee (the default for three or more attributes);
+* :class:`~repro.resilience.fallback.FallbackConfig` — a resilient serving
+  chain over the other pipelines (e.g. exact with approximate as the degraded
+  tier), with per-query fault isolation; see ``docs/robustness.md``.
 
 With no config, the designer auto-picks the 2-D pipeline for two attributes
 and the approximate pipeline otherwise.  The pre-engine keyword arguments

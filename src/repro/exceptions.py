@@ -17,7 +17,12 @@ __all__ = [
     "NoSatisfactoryFunctionError",
     "NotPreprocessedError",
     "OracleError",
+    "TransientOracleError",
+    "OracleTimeoutError",
+    "OracleUnavailableError",
+    "FallbackExhaustedError",
     "ConfigurationError",
+    "IndexIntegrityError",
 ]
 
 
@@ -57,5 +62,64 @@ class OracleError(ReproError):
     """Raised when a fairness oracle is misconfigured or evaluated incorrectly."""
 
 
+class TransientOracleError(OracleError):
+    """An oracle failure that may heal on retry (network blip, flaky service).
+
+    The resilience layer (:mod:`repro.resilience`) retries these with
+    exponential backoff; every other :class:`OracleError` is treated as
+    permanent and surfaces immediately.
+    """
+
+
+class OracleTimeoutError(TransientOracleError):
+    """Raised when an oracle call exceeded its configured deadline."""
+
+
+class OracleUnavailableError(OracleError):
+    """Raised when the oracle cannot be reached at all.
+
+    Either the circuit breaker is open (too many consecutive failures) or a
+    bounded retry loop exhausted its attempts.  ``last_error`` carries the
+    failure that exhausted the budget, when there was one.
+    """
+
+    def __init__(self, message: str, last_error: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+
+
+class FallbackExhaustedError(ReproError):
+    """Raised when every tier of a fallback engine chain failed for a query.
+
+    ``attempts`` holds one structured record per tier that was tried (see
+    :class:`repro.resilience.fallback.TierError`).
+    """
+
+    def __init__(self, message: str, attempts: tuple = ()) -> None:
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+
 class ConfigurationError(ReproError):
     """Raised when user-supplied configuration values are invalid."""
+
+
+class IndexIntegrityError(ConfigurationError):
+    """Raised when a persisted index/engine file fails its integrity checks.
+
+    Subclasses :class:`ConfigurationError` so pre-checksum callers that guard
+    loads with ``except ConfigurationError`` keep working.  ``hint`` carries
+    an actionable recovery step (usually: rebuild the file), and is appended
+    to the rendered message.
+    """
+
+    def __init__(self, message: str, *, path=None, hint: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
+        self.hint = hint
+
+    def __str__(self) -> str:
+        message = super().__str__()
+        if self.hint:
+            return f"{message} ({self.hint})"
+        return message

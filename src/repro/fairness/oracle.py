@@ -64,9 +64,29 @@ class CallableOracle(FairnessOracle):
 
     def is_satisfactory(self, ordering: np.ndarray, dataset: Dataset) -> bool:
         result = self._function(ordering, dataset)
-        if not isinstance(result, (bool, np.bool_)):
-            raise OracleError("the wrapped callable must return a boolean")
-        return bool(result)
+        # Genuine scalar verdicts are coerced: a 0-d array from a vectorised
+        # predicate unwraps to its scalar, and 0/1 integers count as verdicts.
+        # Anything ambiguous — multi-element arrays (whose truthiness raises
+        # anyway), None, floats, other integers — is a contract violation and
+        # gets a clear, typed error naming the offending type.
+        if isinstance(result, np.ndarray):
+            if result.ndim == 0:
+                result = result.item()
+            else:
+                raise OracleError(
+                    f"the callable wrapped by {self._description!r} returned an "
+                    f"array of shape {result.shape}; an oracle must return one "
+                    "boolean verdict per call"
+                )
+        if isinstance(result, (bool, np.bool_)):
+            return bool(result)
+        if isinstance(result, (int, np.integer)) and result in (0, 1):
+            return bool(result)
+        raise OracleError(
+            f"the callable wrapped by {self._description!r} returned "
+            f"{type(result).__name__} ({result!r}); an oracle must return a "
+            "boolean verdict"
+        )
 
     def describe(self) -> str:
         return self._description

@@ -18,6 +18,7 @@ the file so only the oracle has to be reconstructed.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -27,7 +28,7 @@ from repro.core.approx import MDApproxIndex, PreprocessingTimings
 from repro.core.multi_dim import MDExactIndex, SatisfactoryRegion
 from repro.core.two_dim import AngularInterval, TwoDIndex
 from repro.data.dataset import Dataset
-from repro.exceptions import ConfigurationError, GeometryError
+from repro.exceptions import ConfigurationError, GeometryError, IndexIntegrityError
 from repro.fairness.oracle import FairnessOracle
 from repro.geometry.hyperplane import HalfSpace, Hyperplane, Region
 from repro.geometry.partition import AnglePartition, AnglePartitionProtocol, UniformGridPartition
@@ -46,10 +47,107 @@ __all__ = [
     "load_index",
     "save_engine",
     "load_engine",
+    "payload_checksum",
+    "STORE_FORMAT",
 ]
 
 #: Schema identifier written into every serialised index.
 INDEX_FORMAT = "repro.index/v1"
+
+#: Schema identifier of the file-level checksum envelope.
+STORE_FORMAT = "repro.store/v1"
+
+#: Hash algorithm the envelope records (and the only one this version reads).
+_STORE_ALGORITHM = "sha256"
+
+
+# --------------------------------------------------------------------------- #
+# checksum envelope
+# --------------------------------------------------------------------------- #
+def payload_checksum(payload: dict) -> str:
+    """Hex SHA-256 of a payload's canonical JSON form.
+
+    Canonical means sorted keys and no whitespace, so the digest depends only
+    on the payload's *content*, not on how the surrounding file was formatted.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _wrap_payload(payload: dict) -> dict:
+    """Wrap an index/engine payload in the versioned checksum envelope."""
+    return {
+        "format": STORE_FORMAT,
+        "algorithm": _STORE_ALGORITHM,
+        "digest": payload_checksum(payload),
+        "payload": payload,
+    }
+
+
+_REBUILD_HINT = "the file is unusable; rebuild and re-save the index to recover"
+
+
+def _unwrap_payload(document, path):
+    """Verify and strip the checksum envelope; pass legacy bare payloads through.
+
+    Raises :class:`~repro.exceptions.IndexIntegrityError` — never returns a
+    partially-validated payload — when the envelope announces a newer store
+    version, an unknown algorithm, a malformed structure, or a digest that
+    does not match the payload bytes.
+    """
+    if not isinstance(document, dict) or not str(document.get("format", "")).startswith(
+        "repro.store/"
+    ):
+        # Pre-envelope file (or a bare payload dict): served unchanged so
+        # indexes saved before checksumming keep loading.
+        return document
+    if document["format"] != STORE_FORMAT:
+        raise IndexIntegrityError(
+            f"{path} uses store format {document['format']!r} but this version "
+            f"reads {STORE_FORMAT!r}",
+            path=path,
+            hint="upgrade the library, or rebuild and re-save the index",
+        )
+    algorithm = document.get("algorithm")
+    if algorithm != _STORE_ALGORITHM:
+        raise IndexIntegrityError(
+            f"{path} declares unsupported checksum algorithm {algorithm!r}",
+            path=path,
+            hint=_REBUILD_HINT,
+        )
+    payload = document.get("payload")
+    digest = document.get("digest")
+    if not isinstance(payload, dict) or not isinstance(digest, str):
+        raise IndexIntegrityError(
+            f"{path} has a malformed checksum envelope "
+            "(missing or mistyped 'payload'/'digest')",
+            path=path,
+            hint=_REBUILD_HINT,
+        )
+    actual = payload_checksum(payload)
+    if actual != digest:
+        raise IndexIntegrityError(
+            f"{path} failed its integrity check: stored digest {digest[:12]}… "
+            f"does not match the payload's {actual[:12]}… — the file was "
+            "corrupted or hand-edited",
+            path=path,
+            hint=_REBUILD_HINT,
+        )
+    return payload
+
+
+def _read_document(path: str | Path):
+    """Read a JSON store file and return its verified payload."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise IndexIntegrityError(
+            f"{path} does not contain valid JSON — the file is corrupt or truncated",
+            path=path,
+            hint=_REBUILD_HINT,
+        ) from exc
+    return _unwrap_payload(document, path)
 
 
 # --------------------------------------------------------------------------- #
@@ -301,7 +399,7 @@ def save_index(
         payload = approx_index_to_dict(index, include_dataset=include_dataset)
     else:
         raise ConfigurationError(f"cannot serialise index of type {type(index).__name__}")
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    Path(path).write_text(json.dumps(_wrap_payload(payload)), encoding="utf-8")
 
 
 def load_index(
@@ -314,20 +412,32 @@ def load_index(
     2-D and exact indexes ignore ``oracle`` and ``dataset``; approximate
     indexes require an oracle and either a dataset argument or an embedded
     dataset snapshot.
+
+    Files written by this version carry a checksum envelope
+    (:data:`STORE_FORMAT`); corruption — truncation, bit flips, hand edits —
+    raises a typed :class:`~repro.exceptions.IndexIntegrityError` with a
+    rebuild hint instead of surfacing as an arbitrary reconstruction error.
+    Pre-envelope files still load.
     """
-    try:
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"{path} does not contain valid JSON") from exc
+    payload = _read_document(path)
     kind = payload.get("index_kind") if isinstance(payload, dict) else None
-    if kind == "2d":
-        return two_d_index_from_dict(payload)
-    if kind == "exact":
-        return exact_index_from_dict(payload)
-    if kind == "approx":
-        if oracle is None:
-            raise ConfigurationError("loading an approximate index requires a fairness oracle")
-        return approx_index_from_dict(payload, oracle=oracle, dataset=dataset)
+    try:
+        if kind == "2d":
+            return two_d_index_from_dict(payload)
+        if kind == "exact":
+            return exact_index_from_dict(payload)
+        if kind == "approx":
+            if oracle is None:
+                raise ConfigurationError(
+                    "loading an approximate index requires a fairness oracle"
+                )
+            return approx_index_from_dict(payload, oracle=oracle, dataset=dataset)
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as exc:
+        # A verified checksum rules corruption out: the payload is malformed
+        # at the schema level (likely hand-built or from a different tool).
+        raise ConfigurationError(
+            f"{path} holds a {kind!r} index whose payload is malformed: {exc}"
+        ) from exc
     raise ConfigurationError(f"{path} is not a serialised repro index (kind={kind!r})")
 
 
@@ -340,9 +450,11 @@ def save_engine(engine, path: str | Path) -> None:
     The payload bundles the engine name, its typed configuration, the offline
     index, and the preprocessing dataset (the sample when sampling was used),
     so :func:`load_engine` restores an engine that answers queries
-    bit-identically without re-preprocessing.
+    bit-identically without re-preprocessing.  The payload is wrapped in the
+    :data:`STORE_FORMAT` checksum envelope so :func:`load_engine` can detect
+    corruption.
     """
-    Path(path).write_text(json.dumps(engine.to_payload()), encoding="utf-8")
+    Path(path).write_text(json.dumps(_wrap_payload(engine.to_payload())), encoding="utf-8")
 
 
 def load_engine(path: str | Path, oracle: FairnessOracle):
@@ -351,16 +463,15 @@ def load_engine(path: str | Path, oracle: FairnessOracle):
     The fairness oracle is supplied by the caller (oracles are arbitrary code
     and are never serialised).  Raises :class:`ConfigurationError` when the
     file holds a bare index (see :func:`load_index`) or is not a serialised
-    engine at all.
+    engine at all, and a typed :class:`~repro.exceptions.IndexIntegrityError`
+    when the file's checksum envelope fails verification (see
+    :func:`load_index`).
     """
     # Imported lazily: repro.core.engine imports this module's serialisers
     # inside its persistence hooks, so a module-level import would be cyclic.
     from repro.core.engine import ENGINE_FORMAT, engine_from_payload
 
-    try:
-        payload = json.loads(Path(path).read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
-        raise ConfigurationError(f"{path} does not contain valid JSON") from exc
+    payload = _read_document(path)
     if isinstance(payload, dict) and payload.get("format") == INDEX_FORMAT:
         raise ConfigurationError(
             f"{path} holds a bare index (format {INDEX_FORMAT!r}); use load_index() "
@@ -370,7 +481,13 @@ def load_engine(path: str | Path, oracle: FairnessOracle):
         raise ConfigurationError(
             f"{path} is not a serialised engine (expected format {ENGINE_FORMAT!r})"
         )
-    return engine_from_payload(payload, oracle)
+    try:
+        return engine_from_payload(payload, oracle)
+    except (KeyError, IndexError, TypeError, ValueError, AttributeError) as exc:
+        raise ConfigurationError(
+            f"{path} holds a {payload.get('engine')!r} engine whose payload is "
+            f"malformed: {exc}"
+        ) from exc
 
 
 def _check_payload(payload: dict, expected_kind: str) -> None:

@@ -1,0 +1,55 @@
+"""Resilient serving layer: fault-tolerant oracles, fallback chains, chaos.
+
+The paper's oracle is an external dependency (a human expert, a policy
+service) and the serving layer answers interactive queries against it — so
+this package adds the protections a production deployment of the pipelines
+needs, without touching their numerics:
+
+* :mod:`repro.resilience.policy` — retry/backoff schedules, circuit breaker,
+  and the injectable :class:`~repro.resilience.policy.FakeClock`;
+* :mod:`repro.resilience.oracle` — :class:`ResilientOracle`, wrapping any
+  fairness oracle with deadlines, bounded retry and circuit breaking;
+* :mod:`repro.resilience.fallback` — :class:`FallbackEngine`, a registered
+  query engine running an ordered tier chain with per-query fault isolation;
+* :mod:`repro.resilience.chaos` — seeded, deterministic fault injection
+  powering the ``chaos``-marked test suite.
+
+See ``docs/robustness.md`` for the failure model and guarantees.
+"""
+
+from repro.resilience.chaos import ChaosEngine, ChaosOracle, InjectedFault
+from repro.resilience.fallback import (
+    BatchReport,
+    FallbackConfig,
+    FallbackEngine,
+    FallbackTelemetry,
+    QueryFailure,
+    QueryRecord,
+    TierError,
+)
+from repro.resilience.oracle import OracleCallStats, ResilientOracle
+from repro.resilience.policy import (
+    CircuitBreaker,
+    FakeClock,
+    RetryPolicy,
+    is_transient_failure,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "CircuitBreaker",
+    "FakeClock",
+    "is_transient_failure",
+    "ResilientOracle",
+    "OracleCallStats",
+    "FallbackConfig",
+    "FallbackEngine",
+    "FallbackTelemetry",
+    "TierError",
+    "QueryRecord",
+    "QueryFailure",
+    "BatchReport",
+    "ChaosOracle",
+    "ChaosEngine",
+    "InjectedFault",
+]

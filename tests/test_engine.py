@@ -85,8 +85,8 @@ def exact_designer(md_dataset_oracle):
 # registry and capabilities
 # --------------------------------------------------------------------------- #
 class TestRegistry:
-    def test_all_three_engines_are_registered(self):
-        assert set(available_engines()) == {"2d", "exact", "approximate"}
+    def test_builtin_engines_are_registered(self):
+        assert set(available_engines()) == {"2d", "exact", "approximate", "fallback"}
 
     def test_get_engine_dispatches_by_name(self):
         assert get_engine("2d") is TwoDEngine

@@ -1,0 +1,270 @@
+"""Persistence fuzzing: corrupt store files must fail typed, never half-load.
+
+Covers the checksum envelope in :mod:`repro.io.index_store` (truncation,
+bit flips, unknown store versions, malformed envelopes) and the CLI's
+``suggest --load-index`` error paths (missing, corrupt, wrong-kind files →
+actionable message on stderr and a nonzero exit code, never a traceback).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.engine import TwoDConfig, create_engine
+from repro.core.two_dim import AngularInterval, TwoDIndex
+from repro.data.synthetic import make_compas_like
+from repro.exceptions import ConfigurationError, IndexIntegrityError
+from repro.fairness.proportional import ProportionalOracle
+from repro.io.index_store import (
+    STORE_FORMAT,
+    load_engine,
+    load_index,
+    payload_checksum,
+    save_engine,
+    save_index,
+    two_d_index_to_dict,
+)
+
+SAMPLE_INDEX = TwoDIndex(
+    intervals=[AngularInterval(0.1, 0.5), AngularInterval(0.9, 1.2)],
+    n_exchanges=3,
+    oracle_calls=7,
+)
+
+
+@pytest.fixture(scope="module")
+def engine_file(tmp_path_factory):
+    """A saved, preprocessed 2-D engine plus the oracle needed to reload it."""
+    dataset = make_compas_like(n=60, seed=11).project(
+        ["c_days_from_compas", "juv_other_count"]
+    )
+    oracle = ProportionalOracle.at_most_share_plus_slack(
+        dataset, "race", "African-American", k=0.3, slack=0.40
+    )
+    engine = create_engine(dataset, oracle, TwoDConfig()).preprocess()
+    path = tmp_path_factory.mktemp("store") / "engine.json"
+    save_engine(engine, path)
+    return path, oracle, engine
+
+
+def _flip_bit(text: str, char_index: int, bit: int = 0) -> str:
+    data = bytearray(text.encode("utf-8"))
+    data[char_index] ^= 1 << bit
+    return data.decode("utf-8", errors="replace")
+
+
+# --------------------------------------------------------------------------- #
+# the envelope itself
+# --------------------------------------------------------------------------- #
+class TestChecksumEnvelope:
+    def test_round_trip_preserves_the_index(self, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(SAMPLE_INDEX, path)
+        loaded = load_index(path)
+        assert loaded.intervals == SAMPLE_INDEX.intervals
+        assert loaded.oracle_calls == SAMPLE_INDEX.oracle_calls
+
+    def test_saved_file_carries_a_verifiable_envelope(self, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(SAMPLE_INDEX, path)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["format"] == STORE_FORMAT
+        assert document["algorithm"] == "sha256"
+        assert document["digest"] == payload_checksum(document["payload"])
+
+    def test_checksum_is_formatting_independent(self):
+        payload = two_d_index_to_dict(SAMPLE_INDEX)
+        reordered = dict(reversed(list(payload.items())))
+        assert payload_checksum(payload) == payload_checksum(reordered)
+
+    def test_legacy_bare_payload_still_loads(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(two_d_index_to_dict(SAMPLE_INDEX)), encoding="utf-8")
+        assert load_index(path).intervals == SAMPLE_INDEX.intervals
+
+
+# --------------------------------------------------------------------------- #
+# fuzzing: every corruption is a typed error, never a partial index
+# --------------------------------------------------------------------------- #
+class TestCorruptionFuzz:
+    @pytest.fixture()
+    def index_file(self, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(SAMPLE_INDEX, path)
+        return path
+
+    def test_truncation_at_any_length_is_typed(self, index_file):
+        text = index_file.read_text(encoding="utf-8")
+        for keep in (0, 1, len(text) // 4, len(text) // 2, len(text) - 1):
+            index_file.write_text(text[:keep], encoding="utf-8")
+            with pytest.raises(IndexIntegrityError) as excinfo:
+                load_index(index_file)
+            assert excinfo.value.hint  # always tells the user what to do
+
+    def test_bit_flips_in_the_payload_are_typed(self, index_file):
+        text = index_file.read_text(encoding="utf-8")
+        payload_start = text.index('"payload"')
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            char_index = int(rng.integers(payload_start, len(text) - 1))
+            bit = int(rng.integers(0, 7))
+            index_file.write_text(_flip_bit(text, char_index, bit), encoding="utf-8")
+            # Either the JSON breaks (corrupt/truncated) or the digest no
+            # longer matches — both must surface as the same typed error.
+            with pytest.raises(IndexIntegrityError):
+                load_index(index_file)
+
+    def test_digest_mismatch_names_both_digests(self, index_file):
+        document = json.loads(index_file.read_text(encoding="utf-8"))
+        document["payload"]["oracle_calls"] = 999  # hand-edit
+        index_file.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(IndexIntegrityError, match="integrity check"):
+            load_index(index_file)
+
+    def test_unknown_store_version_is_typed(self, index_file):
+        document = json.loads(index_file.read_text(encoding="utf-8"))
+        document["format"] = "repro.store/v9"
+        index_file.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(IndexIntegrityError, match="repro.store/v9"):
+            load_index(index_file)
+
+    def test_unknown_algorithm_is_typed(self, index_file):
+        document = json.loads(index_file.read_text(encoding="utf-8"))
+        document["algorithm"] = "crc32"
+        index_file.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(IndexIntegrityError, match="crc32"):
+            load_index(index_file)
+
+    @pytest.mark.parametrize("missing", ["payload", "digest"])
+    def test_malformed_envelope_is_typed(self, index_file, missing):
+        document = json.loads(index_file.read_text(encoding="utf-8"))
+        del document[missing]
+        index_file.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(IndexIntegrityError, match="malformed checksum envelope"):
+            load_index(index_file)
+
+    def test_checksummed_but_schema_broken_payload_is_configuration_error(
+        self, index_file
+    ):
+        # A valid envelope around a nonsense payload is not *corruption* —
+        # the digest matches what was written — so the schema layer reports it.
+        payload = {"format": "repro.index/v1", "index_kind": "2d", "intervals": "nope"}
+        document = {
+            "format": STORE_FORMAT,
+            "algorithm": "sha256",
+            "digest": payload_checksum(payload),
+            "payload": payload,
+        }
+        index_file.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="malformed"):
+            load_index(index_file)
+
+
+class TestEngineFileCorruption:
+    def test_round_trip_answers_identically(self, engine_file):
+        path, oracle, engine = engine_file
+        restored = load_engine(path, oracle)
+        weights = np.array([0.9, 0.1])
+        from repro.ranking.scoring import LinearScoringFunction
+
+        function = LinearScoringFunction(tuple(weights.tolist()))
+        assert restored.suggest(function) == engine.suggest(function)
+
+    def test_bit_flipped_engine_file_is_typed(self, engine_file, tmp_path):
+        path, oracle, _ = engine_file
+        text = path.read_text(encoding="utf-8")
+        payload_start = text.index('"payload"')
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text(
+            _flip_bit(text, payload_start + 40, bit=1), encoding="utf-8"
+        )
+        with pytest.raises(IndexIntegrityError):
+            load_engine(corrupt, oracle)
+
+    def test_bare_index_file_is_rejected_by_load_engine(self, engine_file, tmp_path):
+        _, oracle, _ = engine_file
+        path = tmp_path / "index.json"
+        save_index(SAMPLE_INDEX, path)
+        with pytest.raises(ConfigurationError, match="bare index"):
+            load_engine(path, oracle)
+
+    def test_arbitrary_json_is_rejected_by_load_engine(self, engine_file, tmp_path):
+        _, oracle, _ = engine_file
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}), encoding="utf-8")
+        with pytest.raises(ConfigurationError, match="not a serialised engine"):
+            load_engine(path, oracle)
+
+
+# --------------------------------------------------------------------------- #
+# CLI error paths: actionable message + nonzero exit, no traceback
+# --------------------------------------------------------------------------- #
+class TestCliLoadIndexErrors:
+    _BASE = [
+        "suggest",
+        "--attribute",
+        "race",
+        "--group",
+        "African-American",
+        "--k",
+        "0.3",
+        "--max-share",
+        "0.6",
+        "--weights",
+        "0.9,0.1",
+        "--load-index",
+    ]
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(self._BASE + [str(tmp_path / "nowhere.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "does not exist" in captured.err
+        assert "--save-index" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_directory_instead_of_file(self, tmp_path, capsys):
+        code = main(self._BASE + [str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "directory" in captured.err
+
+    def test_corrupt_file(self, engine_file, tmp_path, capsys):
+        path, _, _ = engine_file
+        text = path.read_text(encoding="utf-8")
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text(text[: len(text) // 2], encoding="utf-8")
+        code = main(self._BASE + [str(corrupt)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "corrupt or truncated" in captured.err
+        assert "rebuild" in captured.err  # the hint reaches the user
+        assert "Traceback" not in captured.err
+
+    def test_bit_flipped_file(self, engine_file, tmp_path, capsys):
+        path, _, _ = engine_file
+        text = path.read_text(encoding="utf-8")
+        corrupt = tmp_path / "flipped.json"
+        corrupt.write_text(
+            _flip_bit(text, text.index('"payload"') + 40, bit=1), encoding="utf-8"
+        )
+        code = main(self._BASE + [str(corrupt)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "integrity" in captured.err or "corrupt" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_wrong_kind_file(self, tmp_path, capsys):
+        # A bare *index* file where the CLI expects a saved *engine*.
+        path = tmp_path / "index.json"
+        save_index(SAMPLE_INDEX, path)
+        code = main(self._BASE + [str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot load" in captured.err
+        assert "bare index" in captured.err
+        assert "Traceback" not in captured.err
