@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""The consolidated pre-PR gate: docs + contracts + doctests, one exit code.
+
+Runs, in order:
+
+1. ``scripts/check_docs.py`` — no stale code references in ``README.md`` /
+   ``docs/*.md``;
+2. ``scripts/check_contracts.py`` — the contract linter over ``src/repro``
+   (plus the scoped ``mypy --strict`` pass when mypy is installed);
+3. the doctest pass — ``pytest --doctest-modules`` over the modules whose
+   ``>>>`` examples are load-bearing documentation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_all.py
+
+Prints one PASS/FAIL line per gate and exits 0 only when every gate passed.
+This is the command to run before opening a PR; the full test suite
+(``PYTHONPATH=src python -m pytest -q``) re-enforces all three in tier-1.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Modules whose doctests are part of the documentation contract.
+DOCTEST_MODULES = ("src/repro/geometry/dual.py", "src/repro/core/engine.py")
+
+
+def _load_script(name: str):
+    spec = importlib.util.spec_from_file_location(name, REPO_ROOT / "scripts" / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_check_docs() -> int:
+    return _load_script("check_docs").main()
+
+
+def run_check_contracts() -> int:
+    return _load_script("check_contracts").main()
+
+
+def run_doctests() -> int:
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "--doctest-modules",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            *DOCTEST_MODULES,
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        print(result.stdout.strip())
+        if result.stderr.strip():
+            print(result.stderr.strip())
+    else:
+        print(f"doctests: OK ({', '.join(DOCTEST_MODULES)})")
+    return result.returncode
+
+
+def main() -> int:
+    gates = (
+        ("check_docs", run_check_docs),
+        ("check_contracts", run_check_contracts),
+        ("doctests", run_doctests),
+    )
+    failures = []
+    for name, gate in gates:
+        status = gate()
+        print(f"[{'PASS' if status == 0 else 'FAIL'}] {name}")
+        if status != 0:
+            failures.append(name)
+    if failures:
+        print(f"check_all: {len(failures)} gate(s) failed: {', '.join(failures)}")
+        return 1
+    print("check_all: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

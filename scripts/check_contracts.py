@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Run the contract linter (and, when available, a scoped strict mypy pass).
+
+The linter (:mod:`repro.analysis`) statically enforces the repo's contracts —
+engine seam, oracle batch parity, typed exceptions, determinism, registry
+hygiene — over ``src/repro`` with the committed allowlist
+(``contracts_allowlist.txt``).  On top of that, when mypy is installed, the
+two fully annotated modules (``src/repro/exceptions.py`` and
+``src/repro/core/engine.py``) are checked with ``mypy --strict``; when mypy
+is absent the step is skipped cleanly (the container does not ship it).
+
+Run it as a tier-2 check::
+
+    PYTHONPATH=src python scripts/check_contracts.py
+
+Exit status 0 means every contract holds; 1 lists the violations.  The same
+gate runs inside the test suite via ``tests/test_static_analysis.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Modules held to ``mypy --strict`` (scoped: imports are not followed).
+STRICT_MODULES = ("src/repro/exceptions.py", "src/repro/core/engine.py")
+
+
+def run_linter() -> int:
+    """Run the contract linter over ``src/repro``; returns its exit code."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis import main as analysis_main
+
+    return analysis_main([str(REPO_ROOT / "src" / "repro")])
+
+
+def run_mypy() -> int:
+    """Scoped ``mypy --strict`` over the annotated modules; 0 when skipped."""
+    if importlib.util.find_spec("mypy") is None:
+        print("check_contracts: mypy not installed; skipping the strict typing pass")
+        return 0
+    command = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--strict",
+        "--follow-imports=skip",
+        "--ignore-missing-imports",
+        "--no-error-summary",
+        *STRICT_MODULES,
+    ]
+    result = subprocess.run(command, cwd=REPO_ROOT, capture_output=True, text=True)
+    if result.returncode != 0:
+        print("check_contracts: mypy --strict failed:")
+        print(result.stdout.strip())
+        if result.stderr.strip():
+            print(result.stderr.strip())
+        return 1
+    print(f"check_contracts: mypy --strict OK ({', '.join(STRICT_MODULES)})")
+    return 0
+
+
+def main() -> int:
+    status = run_linter()
+    mypy_status = run_mypy()
+    return 1 if (status or mypy_status) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Reporters rendering an analysis run for humans (text) and tools (JSON).
+
+The JSON schema is versioned and stable: tools may rely on the exact key set
+(``format``, ``root``, ``checked_files``, ``rules``, ``findings``,
+``suppressed``, ``allowlisted``, ``unused_allowlist_entries``) and on each
+finding's keys (``rule``, ``file``, ``line``, ``message``, ``anchor``).
+``tests/test_static_analysis.py`` pins the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.runner import AnalysisResult
+
+__all__ = ["REPORT_FORMAT", "render_text", "render_json"]
+
+#: Schema identifier of the JSON report.
+REPORT_FORMAT = "repro.analysis/v1"
+
+
+def render_text(result: "AnalysisResult", verbose: bool = False) -> str:
+    """Human-readable report: one line per active finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    if verbose:
+        lines.extend(
+            f"{finding.render()} (suppressed inline)" for finding in result.suppressed
+        )
+        lines.extend(
+            f"{finding.render()} (allowlisted)" for finding in result.allowlisted
+        )
+    for entry in result.unused_allowlist_entries:
+        lines.append(
+            f"allowlist:{entry.line}: unused entry "
+            f"[{entry.rule}] {entry.pattern!r} matched nothing "
+            "(remove it or fix the pattern)"
+        )
+    if result.findings:
+        lines.append(
+            f"repro.analysis: {len(result.findings)} finding(s) in "
+            f"{result.checked_files} file(s)"
+        )
+    else:
+        extras = []
+        if result.allowlisted:
+            extras.append(f"{len(result.allowlisted)} allowlisted")
+        if result.suppressed:
+            extras.append(f"{len(result.suppressed)} suppressed inline")
+        suffix = f" ({', '.join(extras)})" if extras else ""
+        lines.append(
+            f"repro.analysis: OK ({result.checked_files} files, "
+            f"{len(result.rule_ids)} rules){suffix}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: "AnalysisResult") -> str:
+    """Stable machine-readable report (see module docstring for the schema)."""
+    payload = {
+        "format": REPORT_FORMAT,
+        "root": str(result.root),
+        "checked_files": result.checked_files,
+        "rules": list(result.rule_ids),
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [finding.to_dict() for finding in result.suppressed],
+        "allowlisted": [finding.to_dict() for finding in result.allowlisted],
+        "unused_allowlist_entries": [
+            {"rule": entry.rule, "pattern": entry.pattern, "line": entry.line}
+            for entry in result.unused_allowlist_entries
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

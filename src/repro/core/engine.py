@@ -32,7 +32,7 @@ import warnings
 import numpy as np
 
 from dataclasses import asdict, dataclass, fields
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from repro.core.approx import ApproximatePreprocessor, MDApproxIndex, md_online
 from repro.core.multi_dim import MDExactIndex, SatRegions, md_baseline
@@ -217,7 +217,9 @@ class QueryEngine(Protocol):
     dataset: Dataset
     oracle: FairnessOracle
 
-    def preprocess(self, dataset: Dataset | None = None, oracle: FairnessOracle | None = None):
+    def preprocess(
+        self, dataset: Dataset | None = None, oracle: FairnessOracle | None = None
+    ) -> "QueryEngine":
         """Run the offline phase; returns the engine for chaining."""
 
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
@@ -229,18 +231,18 @@ class QueryEngine(Protocol):
     def capabilities(self) -> EngineCapabilities:
         """Static description of what the engine supports."""
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, Any]:
         """Serialise the preprocessed engine to a JSON-compatible payload."""
 
     @classmethod
-    def from_payload(cls, payload: dict, oracle: FairnessOracle) -> "QueryEngine":
+    def from_payload(cls, payload: dict[str, Any], oracle: FairnessOracle) -> "QueryEngine":
         """Rebuild a preprocessed engine from :meth:`to_payload` output."""
 
 
 _ENGINE_REGISTRY: dict[str, type] = {}
 _CONFIG_TO_NAME: dict[type, str] = {}
 
-_PLUGINS_LOADED = False
+_PLUGINS_LOADED: bool = False
 
 
 def _load_builtin_plugins() -> None:
@@ -258,7 +260,7 @@ def _load_builtin_plugins() -> None:
     import repro.resilience.fallback  # noqa: F401  (registers on import)
 
 
-def register_engine(name: str, config_type: type):
+def register_engine(name: str, config_type: type) -> Callable[[type], type]:
     """Class decorator registering an engine under ``name`` with its config type."""
 
     def decorate(cls: type) -> type:
@@ -320,7 +322,7 @@ def create_engine(
     return get_engine(engine_name_for_config(config))(dataset, oracle, config)
 
 
-def engine_from_payload(payload: dict, oracle: FairnessOracle) -> "QueryEngine":
+def engine_from_payload(payload: dict[str, Any], oracle: FairnessOracle) -> "QueryEngine":
     """Rebuild a preprocessed engine from a serialised payload, dispatching on its name."""
     if not isinstance(payload, dict) or payload.get("format") != ENGINE_FORMAT:
         raise ConfigurationError(
@@ -338,7 +340,12 @@ class _EngineBase:
     name: str
     config_type: type
 
-    def __init__(self, dataset: Dataset, oracle: FairnessOracle, config=None) -> None:
+    def __init__(
+        self,
+        dataset: Dataset,
+        oracle: FairnessOracle,
+        config: EngineConfig | None = None,
+    ) -> None:
         config = config if config is not None else self.config_type()
         if not isinstance(config, self.config_type):
             raise ConfigurationError(
@@ -359,11 +366,13 @@ class _EngineBase:
         self.dataset = dataset
         self.oracle = oracle
         self.config = config
-        self._index = None
+        self._index: Any = None
         self._preprocessing_dataset: Dataset | None = None
 
     # -- offline phase ------------------------------------------------- #
-    def preprocess(self, dataset: Dataset | None = None, oracle: FairnessOracle | None = None):
+    def preprocess(
+        self, dataset: Dataset | None = None, oracle: FairnessOracle | None = None
+    ) -> "_EngineBase":
         """Run the offline phase (optionally rebinding dataset/oracle first)."""
         if dataset is not None:
             self.dataset = dataset
@@ -377,7 +386,7 @@ class _EngineBase:
         self._index = self._build_index(working)
         return self
 
-    def _build_index(self, working: Dataset):
+    def _build_index(self, working: Dataset) -> Any:
         raise NotImplementedError
 
     @property
@@ -386,7 +395,7 @@ class _EngineBase:
         return self._index is not None
 
     @property
-    def index(self):
+    def index(self) -> Any:
         """The underlying offline index (engine specific)."""
         if self._index is None:
             raise NotPreprocessedError("call preprocess() first")
@@ -403,7 +412,9 @@ class _EngineBase:
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
         raise NotImplementedError
 
-    def suggest_many(self, weights_matrix) -> list[SuggestionResult]:
+    def suggest_many(
+        self, weights_matrix: np.ndarray | Sequence[Sequence[float]]
+    ) -> list[SuggestionResult]:
         """Fallback batch answering: a loop over :meth:`suggest`.
 
         Engines with a native batched path override this; the loop is the
@@ -414,7 +425,9 @@ class _EngineBase:
             self.suggest(LinearScoringFunction(tuple(row))) for row in matrix.tolist()
         ]
 
-    def _as_matrix(self, weights_matrix) -> np.ndarray:
+    def _as_matrix(
+        self, weights_matrix: np.ndarray | Sequence[Sequence[float]]
+    ) -> np.ndarray:
         matrix = np.asarray(weights_matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[1] != self.dataset.n_attributes:
             raise ConfigurationError(
@@ -424,7 +437,7 @@ class _EngineBase:
         return matrix
 
     # -- persistence ----------------------------------------------------- #
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, Any]:
         """Serialise config + index + preprocessing dataset to a JSON-compatible dict.
 
         The preprocessing dataset (the sample, when sampling was used) is
@@ -442,11 +455,11 @@ class _EngineBase:
             "preprocessing_dataset": dataset_to_dict(self.preprocessing_dataset),
         }
 
-    def _index_to_dict(self) -> dict:
+    def _index_to_dict(self) -> dict[str, Any]:
         raise NotImplementedError
 
     @classmethod
-    def from_payload(cls, payload: dict, oracle: FairnessOracle):
+    def from_payload(cls, payload: dict[str, Any], oracle: FairnessOracle) -> "_EngineBase":
         """Rebuild a preprocessed engine from :meth:`to_payload` output."""
         from repro.io.dataset_json import dataset_from_dict
 
@@ -478,7 +491,9 @@ class _EngineBase:
         engine._index = engine._index_from_dict(payload["index"], dataset, oracle)
         return engine
 
-    def _index_from_dict(self, payload: dict, dataset: Dataset, oracle: FairnessOracle):
+    def _index_from_dict(
+        self, payload: dict[str, Any], dataset: Dataset, oracle: FairnessOracle
+    ) -> Any:
         raise NotImplementedError
 
 
@@ -497,7 +512,9 @@ class TwoDEngine(_EngineBase):
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
         return self.index.query(function)
 
-    def suggest_many(self, weights_matrix) -> list[SuggestionResult]:
+    def suggest_many(
+        self, weights_matrix: np.ndarray | Sequence[Sequence[float]]
+    ) -> list[SuggestionResult]:
         """Batched ``2DONLINE``: one ``searchsorted`` classifies the whole batch."""
         return self.index.query_many(self._as_matrix(weights_matrix))
 
@@ -507,12 +524,14 @@ class TwoDEngine(_EngineBase):
             name="2d", exact=True, min_attributes=2, max_attributes=2, batched=True
         )
 
-    def _index_to_dict(self) -> dict:
+    def _index_to_dict(self) -> dict[str, Any]:
         from repro.io.index_store import two_d_index_to_dict
 
         return two_d_index_to_dict(self.index)
 
-    def _index_from_dict(self, payload, dataset, oracle) -> TwoDIndex:
+    def _index_from_dict(
+        self, payload: dict[str, Any], dataset: Dataset, oracle: FairnessOracle
+    ) -> TwoDIndex:
         from repro.io.index_store import two_d_index_from_dict
 
         return two_d_index_from_dict(payload)
@@ -545,12 +564,14 @@ class ExactEngine(_EngineBase):
             name="exact", exact=True, min_attributes=3, max_attributes=None, batched=False
         )
 
-    def _index_to_dict(self) -> dict:
+    def _index_to_dict(self) -> dict[str, Any]:
         from repro.io.index_store import exact_index_to_dict
 
         return exact_index_to_dict(self.index)
 
-    def _index_from_dict(self, payload, dataset, oracle) -> MDExactIndex:
+    def _index_from_dict(
+        self, payload: dict[str, Any], dataset: Dataset, oracle: FairnessOracle
+    ) -> MDExactIndex:
         from repro.io.index_store import exact_index_from_dict
 
         return exact_index_from_dict(payload)
@@ -577,7 +598,9 @@ class ApproxEngine(_EngineBase):
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
         return md_online(self.index, function)
 
-    def suggest_many(self, weights_matrix) -> list[SuggestionResult]:
+    def suggest_many(
+        self, weights_matrix: np.ndarray | Sequence[Sequence[float]]
+    ) -> list[SuggestionResult]:
         """Batched ``MDONLINE``: batched oracle pre-check, chunked cell lookups.
 
         Line 1 of Algorithm 11 (is the query itself satisfactory?) goes to the
@@ -675,14 +698,16 @@ class ApproxEngine(_EngineBase):
             name="approximate", exact=False, min_attributes=3, max_attributes=None, batched=True
         )
 
-    def _index_to_dict(self) -> dict:
+    def _index_to_dict(self) -> dict[str, Any]:
         from repro.io.index_store import approx_index_to_dict
 
         # The preprocessing dataset is stored once at the engine level; no
         # need to embed a second copy inside the index payload.
         return approx_index_to_dict(self.index, include_dataset=False)
 
-    def _index_from_dict(self, payload, dataset, oracle) -> MDApproxIndex:
+    def _index_from_dict(
+        self, payload: dict[str, Any], dataset: Dataset, oracle: FairnessOracle
+    ) -> MDApproxIndex:
         from repro.io.index_store import approx_index_from_dict
 
         return approx_index_from_dict(payload, oracle=oracle, dataset=dataset)

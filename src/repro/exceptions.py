@@ -7,6 +7,9 @@ being able to distinguish the individual failure modes.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+from os import PathLike
+
 __all__ = [
     "ReproError",
     "DatasetError",
@@ -95,9 +98,9 @@ class FallbackExhaustedError(ReproError):
     :class:`repro.resilience.fallback.TierError`).
     """
 
-    def __init__(self, message: str, attempts: tuple = ()) -> None:
+    def __init__(self, message: str, attempts: Sequence[object] = ()) -> None:
         super().__init__(message)
-        self.attempts = tuple(attempts)
+        self.attempts: tuple[object, ...] = tuple(attempts)
 
 
 class ConfigurationError(ReproError):
@@ -113,10 +116,16 @@ class IndexIntegrityError(ConfigurationError):
     to the rendered message.
     """
 
-    def __init__(self, message: str, *, path=None, hint: str | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | PathLike[str] | None = None,
+        hint: str | None = None,
+    ) -> None:
         super().__init__(message)
-        self.path = path
-        self.hint = hint
+        self.path: str | PathLike[str] | None = path
+        self.hint: str | None = hint
 
     def __str__(self) -> str:
         message = super().__str__()

@@ -343,12 +343,20 @@ class AnglePartition:
             raise GeometryError("angle vector outside the legal box [0, π/2]^k")
         node: _PartitionNode | int = self._root
         for level in range(self.dimension):
-            assert isinstance(node, _PartitionNode)
+            if not isinstance(node, _PartitionNode):
+                raise GeometryError(
+                    f"partition tree truncated at level {level}: expected an "
+                    "internal node, found a leaf (corrupted construction)"
+                )
             value = float(np.clip(angles[level], 0.0, HALF_PI))
             position = int(np.searchsorted(node.boundaries, value, side="right")) - 1
             position = min(max(position, 0), len(node.children) - 1)
             node = node.children[position]
-        assert isinstance(node, int)
+        if not isinstance(node, int):
+            raise GeometryError(
+                f"partition tree deeper than its dimension {self.dimension}: "
+                "descent ended on an internal node (corrupted construction)"
+            )
         return node
 
     def neighbors(self, index: int) -> list[int]:

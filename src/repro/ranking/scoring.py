@@ -213,10 +213,15 @@ def random_scoring_function(
     from the absolute value of a standard Gaussian, then normalised), which is
     the natural "random query" distribution used in the paper's validation and
     timing experiments (§6.2–6.3).
+
+    When no generator is passed, a fresh seed-0 generator is used, so repeated
+    bare calls return the *same* function: every draw in this library is
+    seeded, and callers who want a sequence of distinct functions pass their
+    own generator (as :func:`repro.ranking.queries.random_queries` does).
     """
     if dimension < 2:
         raise ScoringFunctionError("dimension must be >= 2")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(0)
     direction = np.abs(rng.normal(size=dimension))
     while not np.any(direction > 0):  # pragma: no cover - probability zero
         direction = np.abs(rng.normal(size=dimension))

@@ -1,0 +1,15 @@
+"""Fixture: wall clocks and unseeded / global-state RNG."""
+
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def draw():
+    rng = np.random.default_rng()
+    return rng.random() + np.random.rand() + random.random()

@@ -1,0 +1,19 @@
+"""Fixture: seeded generators and monotonic duration measurement."""
+
+import time
+
+import numpy as np
+
+
+def elapsed(clock=None):
+    clock = clock if clock is not None else time.monotonic
+    return clock()
+
+
+def draw(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random()
+
+
+def timed():
+    return time.perf_counter()

@@ -1,0 +1,22 @@
+"""Fixture: a registered engine missing most of the QueryEngine seam."""
+
+from repro.core.engine import register_engine
+
+
+class StubConfig:
+    pass
+
+
+@register_engine("fixture-bad-engine", StubConfig)
+class HalfEngine:
+    """Defines suggest only; preprocess/suggest_many/... are missing."""
+
+    def suggest(self, function):
+        return None
+
+    def to_payload(self):
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload, oracle):
+        return cls()

@@ -1,0 +1,32 @@
+"""Fixture: a registered engine with the full seam, partly inherited."""
+
+from repro.core.engine import register_engine
+
+
+class StubConfig:
+    pass
+
+
+class SeamBase:
+    def preprocess(self, dataset=None, oracle=None):
+        return self
+
+    def suggest_many(self, weights_matrix):
+        return [self.suggest(row) for row in weights_matrix]
+
+    def to_payload(self):
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload, oracle):
+        return cls()
+
+
+@register_engine("fixture-good-engine", StubConfig)
+class FullEngine(SeamBase):
+    def suggest(self, function):
+        return None
+
+    @classmethod
+    def capabilities(cls):
+        return None

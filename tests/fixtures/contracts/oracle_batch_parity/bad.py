@@ -1,0 +1,8 @@
+"""Fixture: a scalar-only oracle override without a batched twin."""
+
+from repro.fairness.oracle import FairnessOracle
+
+
+class ScalarOnlyOracle(FairnessOracle):
+    def is_satisfactory(self, ordering, dataset):
+        return True

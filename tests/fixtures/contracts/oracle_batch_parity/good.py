@@ -1,0 +1,20 @@
+"""Fixture: scalar override paired with its batched twin (one inherited case)."""
+
+import numpy as np
+
+from repro.fairness.oracle import FairnessOracle
+
+
+class PairedOracle(FairnessOracle):
+    def is_satisfactory(self, ordering, dataset):
+        return True
+
+    def is_satisfactory_many(self, orderings, dataset):
+        return np.ones(len(orderings), dtype=bool)
+
+
+class InheritingOracle(PairedOracle):
+    """Overrides the scalar path; the batched twin is inherited."""
+
+    def is_satisfactory(self, ordering, dataset):
+        return False

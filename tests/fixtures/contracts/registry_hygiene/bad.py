@@ -1,0 +1,19 @@
+"""Fixture: registering an engine by mutating the registry dicts directly."""
+
+from repro.core.engine import _CONFIG_TO_NAME, _ENGINE_REGISTRY
+
+
+class SneakyEngine:
+    pass
+
+
+class SneakyConfig:
+    pass
+
+
+_ENGINE_REGISTRY["sneaky"] = SneakyEngine
+_CONFIG_TO_NAME.update({SneakyConfig: "sneaky"})
+
+
+def unregister():
+    _ENGINE_REGISTRY.pop("sneaky")

@@ -1,0 +1,34 @@
+"""Fixture: registration through the registry API only."""
+
+from repro.core.engine import available_engines, get_engine, register_engine
+
+
+class PoliteConfig:
+    pass
+
+
+@register_engine("fixture-polite-engine", PoliteConfig)
+class PoliteEngine:
+    def preprocess(self, dataset=None, oracle=None):
+        return self
+
+    def suggest(self, function):
+        return None
+
+    def suggest_many(self, weights_matrix):
+        return []
+
+    @classmethod
+    def capabilities(cls):
+        return None
+
+    def to_payload(self):
+        return {}
+
+    @classmethod
+    def from_payload(cls, payload, oracle):
+        return cls()
+
+
+def lookup():
+    return get_engine("fixture-polite-engine"), available_engines()

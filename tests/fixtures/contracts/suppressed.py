@@ -1,0 +1,7 @@
+"""Fixture: a violation silenced by an inline suppression comment."""
+
+
+def validate(n):
+    if n < 0:
+        raise ValueError("negative")  # repro: allow-typed-exceptions
+    return n

@@ -1,0 +1,10 @@
+"""Fixture: bare builtin raises and a control-flow assert."""
+
+
+def validate(n_cells):
+    assert n_cells is not None
+    if n_cells < 1:
+        raise ValueError("n_cells must be >= 1")
+    if not isinstance(n_cells, int):
+        raise Exception("bad type")
+    return n_cells

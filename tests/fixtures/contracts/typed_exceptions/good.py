@@ -1,0 +1,14 @@
+"""Fixture: typed exceptions only (NotImplementedError stubs stay legal)."""
+
+from repro.exceptions import ConfigurationError
+
+
+def validate(n_cells):
+    if n_cells is None or n_cells < 1:
+        raise ConfigurationError("n_cells must be >= 1")
+    return n_cells
+
+
+class Base:
+    def hook(self):
+        raise NotImplementedError
