@@ -1,0 +1,60 @@
+"""Shared writer for the committed ``BENCH_*.json`` records.
+
+Every benchmark that persists a machine-readable record at the repository
+root routes it through :func:`write_bench_record`, which stamps one common
+envelope on top of the benchmark's own payload:
+
+* ``format`` — the schema tag ``repro.bench/v1``, so downstream tooling can
+  reject records written before the envelope existed;
+* ``parameters`` — the workload knobs the run was generated with (grid
+  sizes, batch sizes, seeds), exactly as passed by the benchmark;
+* ``repeat_policy`` — how timings were aggregated (e.g. *best of 15,
+  interleaved*), so a reader knows whether two records are comparable;
+* ``generated_unix_time`` — when the record was produced.
+
+The benchmark's payload keys are merged after the envelope and win on
+conflict, so modules migrating to the writer keep their historical key
+layout while gaining the stamp.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+BENCH_FORMAT = "repro.bench/v1"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["BENCH_FORMAT", "REPO_ROOT", "write_bench_record"]
+
+
+def write_bench_record(
+    filename: str,
+    payload: Mapping[str, Any],
+    *,
+    parameters: Mapping[str, Any],
+    repeat_policy: str,
+) -> Path:
+    """Write ``payload`` to ``<repo root>/filename`` inside the v1 envelope.
+
+    Returns the path written.  ``filename`` must be a bare ``BENCH_*.json``
+    name (records live at the repository root by convention).
+    """
+    if "/" in filename or not filename.startswith("BENCH_"):
+        raise ValueError(
+            f"benchmark records are bare BENCH_*.json names at the repository "
+            f"root, got {filename!r}"
+        )
+    record = {
+        "format": BENCH_FORMAT,
+        "parameters": dict(parameters),
+        "repeat_policy": repeat_policy,
+        "generated_unix_time": time.time(),
+    }
+    record.update(payload)
+    output = REPO_ROOT / filename
+    output.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    return output

@@ -1,0 +1,199 @@
+"""Serving overhead of the observability layer: watching must be nearly free.
+
+The ``"instrumented"`` engine (`repro.obs.instrument.InstrumentedEngine`)
+wraps any inner engine with spans, metrics and an optional workload
+recorder.  Its fast path adds, per ``suggest_many`` batch, two clock reads,
+one span append, a handful of counter bumps and — when recording — one O(1)
+matrix copy; none of that may show up at interactive batch sizes.  This
+benchmark times the bare 2-D engine against the instrumented engine with
+recording off and with recording on, asserts the answers stay bit-identical
+on every path, and replays the recorded workload through a *fresh*
+instrumented engine to prove the log reproduces the served answers bit for
+bit.  The target is **< 5%** overhead on the committed record's largest
+batch (recording off is expected to sit at the noise floor).
+
+Run standalone to regenerate the machine-readable record::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+which writes ``BENCH_obs.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.engine import TwoDConfig, create_engine
+from repro.data.synthetic import make_compas_like
+from repro.fairness.proportional import ProportionalOracle
+from repro.obs.instrument import InstrumentedConfig, InstrumentedEngine
+
+from _results import write_bench_record
+
+DEFAULT_N_VALUES = (200, 1000)
+DEFAULT_Q_VALUES = (100, 1000)
+SEED = 5
+
+#: Span stages the instrumented run must cover (prefix match).
+REQUIRED_STAGES = ("engine.preprocess", "engine.suggest_many", "oracle.", "preprocess.")
+
+
+def _serving_trio(n: int):
+    """A bare 2-D engine plus instrumented twins (recording off and on)."""
+    dataset = make_compas_like(n=n, seed=SEED).project(
+        ["c_days_from_compas", "juv_other_count"]
+    )
+    oracle = ProportionalOracle.at_most_share_plus_slack(
+        dataset, "race", "African-American", k=0.3, slack=0.10
+    )
+    bare = create_engine(dataset, oracle, TwoDConfig()).preprocess()
+    observed = create_engine(
+        dataset, oracle, InstrumentedConfig(inner=TwoDConfig())
+    ).preprocess()
+    recording = create_engine(
+        dataset, oracle, InstrumentedConfig(inner=TwoDConfig(), record_workload=True)
+    ).preprocess()
+    return dataset, oracle, bare, observed, recording
+
+
+def _queries(q: int) -> np.ndarray:
+    rng = np.random.default_rng(q)
+    queries = np.abs(rng.normal(size=(q, 2)))
+    queries[np.all(queries == 0.0, axis=1)] = 1.0  # probability-zero guard
+    return queries
+
+
+def _interleaved3(calls, repeats: int):
+    """Best-of-``repeats`` for three calls, measured in alternation.
+
+    Each timed call is preceded by an untimed warm pass of the *same* call,
+    so deferred work left behind by the previous engine in the rotation
+    (allocator churn, cache refill, GC debt from the recorder's copies) is
+    absorbed before the clock starts — without it, whichever path runs after
+    the recording engine gets billed for its cleanup.
+    """
+    import gc
+
+    best = [float("inf")] * len(calls)
+    results = [None] * len(calls)
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for index, call in enumerate(calls):
+                call()  # warm pass: equalise cache/allocator state
+                start = time.perf_counter()
+                results[index] = call()
+                best[index] = min(best[index], time.perf_counter() - start)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return best, results
+
+
+def _span_coverage(engine: InstrumentedEngine) -> dict:
+    names = set(engine.recorder.span_names())
+    return {
+        stage: any(name == stage or name.startswith(stage) for name in names)
+        for stage in REQUIRED_STAGES
+    }
+
+
+def compare_suggest_many(n: int, q: int, repeats: int = 7) -> dict:
+    """Time ``suggest_many`` bare vs instrumented (recording off / on)."""
+    dataset, oracle, bare, observed, recording = _serving_trio(n)
+    queries = _queries(q)
+    (bare_s, observed_s, recording_s), (bare_r, observed_r, recording_r) = _interleaved3(
+        (
+            lambda: bare.suggest_many(queries),
+            lambda: observed.suggest_many(queries),
+            lambda: recording.suggest_many(queries),
+        ),
+        repeats,
+    )
+    # Replay the recorded workload through a fresh instrumented engine: the
+    # log must reproduce the served answers bit for bit.
+    fresh = create_engine(
+        dataset, oracle, InstrumentedConfig(inner=TwoDConfig())
+    ).preprocess()
+    replay = recording.workload.replay(fresh)
+    return {
+        "n": n,
+        "q": q,
+        "bare_seconds": bare_s,
+        "instrumented_seconds": observed_s,
+        "recording_seconds": recording_s,
+        "instrumented_overhead_fraction": observed_s / bare_s - 1.0,
+        "recording_overhead_fraction": recording_s / bare_s - 1.0,
+        "identical": observed_r == bare_r and recording_r == bare_r,
+        "replay_bit_identical": replay.bit_identical,
+        "span_coverage": _span_coverage(recording),
+    }
+
+
+def run_grid(n_values=DEFAULT_N_VALUES, q_values=DEFAULT_Q_VALUES, repeats: int = 15) -> dict:
+    rows = [compare_suggest_many(n, q, repeats=repeats) for n in n_values for q in q_values]
+    return {
+        "benchmark": "obs_instrumentation_overhead",
+        "workload": "make_compas_like(seed=5) projected to 2 attributes, "
+        "FM1 (<= share+10% African-American in top 30%); random first-orthant queries",
+        "bare_path": "TwoDEngine.suggest_many",
+        "wrapped_path": "InstrumentedEngine(suggest_many), recording off and on",
+        "target": "instrumented overhead below 5% at the largest batch size; "
+        "recorded workloads replay bit-identically",
+        "suggest_many": rows,
+    }
+
+
+def test_instrumentation_overhead_is_small(benchmark, once):
+    """Reduced-grid pytest entry: observing is bit-identical and nearly free."""
+    payload = once(benchmark, run_grid, n_values=(1000,), q_values=(1000,), repeats=5)
+    print("\n[perf] observability instrumentation overhead")
+    for row in payload["suggest_many"]:
+        print(
+            f"  suggest_many n={row['n']} q={row['q']}: "
+            f"{row['bare_seconds'] * 1e3:.2f}ms -> "
+            f"{row['instrumented_seconds'] * 1e3:.2f}ms observed "
+            f"({row['instrumented_overhead_fraction'] * 100:+.1f}%), "
+            f"{row['recording_seconds'] * 1e3:.2f}ms recording "
+            f"({row['recording_overhead_fraction'] * 100:+.1f}%)"
+        )
+    for row in payload["suggest_many"]:
+        assert row["identical"]
+        assert row["replay_bit_identical"]
+        assert all(row["span_coverage"].values()), row["span_coverage"]
+    # The committed BENCH_obs.json records < 5% on the full grid; the
+    # in-suite bound is looser to tolerate noisy CI boxes.
+    assert payload["suggest_many"][-1]["recording_overhead_fraction"] < 0.25
+
+
+def main() -> None:
+    payload = run_grid()
+    output = write_bench_record(
+        "BENCH_obs.json",
+        payload,
+        parameters={
+            "n_values": list(DEFAULT_N_VALUES),
+            "q_values": list(DEFAULT_Q_VALUES),
+            "repeats": 15,
+            "seed": SEED,
+        },
+        repeat_policy="best of 15, bare/instrumented/recording interleaved per repeat",
+    )
+    for row in payload["suggest_many"]:
+        print(
+            f"suggest_many n={row['n']} q={row['q']}: bare {row['bare_seconds'] * 1e3:.2f}ms, "
+            f"observed {row['instrumented_seconds'] * 1e3:.2f}ms "
+            f"({row['instrumented_overhead_fraction'] * 100:+.2f}%), "
+            f"recording {row['recording_seconds'] * 1e3:.2f}ms "
+            f"({row['recording_overhead_fraction'] * 100:+.2f}%), "
+            f"identical={row['identical']}, replay={row['replay_bit_identical']}"
+        )
+    print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,9 +22,7 @@ which writes ``BENCH_resilience.json`` at the repository root.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -32,6 +30,8 @@ from repro.core.engine import TwoDConfig, create_engine
 from repro.data.synthetic import make_compas_like
 from repro.fairness.proportional import ProportionalOracle
 from repro.resilience import FallbackEngine, ResilientOracle
+
+from _results import write_bench_record
 
 DEFAULT_N_VALUES = (200, 1000)
 DEFAULT_Q_VALUES = (100, 1000)
@@ -127,7 +127,6 @@ def run_grid(n_values=DEFAULT_N_VALUES, q_values=DEFAULT_Q_VALUES, repeats: int 
         "bare_path": "QueryEngine.suggest_many / FairnessOracle.is_satisfactory",
         "wrapped_path": "FallbackEngine.from_engines([engine]) / ResilientOracle(oracle)",
         "target": "happy-path overhead below 5% at the largest batch size",
-        "generated_unix_time": time.time(),
         "suggest_many": serving,
         "oracle": oracle_rows,
     }
@@ -158,8 +157,18 @@ def test_happy_path_overhead_is_small(benchmark, once):
 
 def main() -> None:
     payload = run_grid()
-    output = Path(__file__).resolve().parent.parent / "BENCH_resilience.json"
-    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    output = write_bench_record(
+        "BENCH_resilience.json",
+        payload,
+        parameters={
+            "n_values": list(DEFAULT_N_VALUES),
+            "q_values": list(DEFAULT_Q_VALUES),
+            "oracle_calls": 300,
+            "repeats": 15,
+            "seed": 5,
+        },
+        repeat_policy="best of 15, bare and wrapped interleaved per repeat",
+    )
     for row in payload["suggest_many"]:
         print(
             f"suggest_many n={row['n']} q={row['q']}: bare {row['bare_seconds'] * 1e3:.2f}ms, "

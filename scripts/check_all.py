@@ -7,7 +7,9 @@ Runs, in order:
    ``docs/*.md``;
 2. ``scripts/check_contracts.py`` — the contract linter over ``src/repro``
    (plus the scoped ``mypy --strict`` pass when mypy is installed);
-3. the doctest pass — ``pytest --doctest-modules`` over the modules whose
+3. ``scripts/check_obs.py`` — the observability layer produces byte-identical
+   trace exports and metrics snapshots on a fake clock;
+4. the doctest pass — ``pytest --doctest-modules`` over the modules whose
    ``>>>`` examples are load-bearing documentation.
 
 Usage::
@@ -47,6 +49,10 @@ def run_check_contracts() -> int:
     return _load_script("check_contracts").main()
 
 
+def run_check_obs() -> int:
+    return _load_script("check_obs").main()
+
+
 def run_doctests() -> int:
     result = subprocess.run(
         [
@@ -76,6 +82,7 @@ def main() -> int:
     gates = (
         ("check_docs", run_check_docs),
         ("check_contracts", run_check_contracts),
+        ("check_obs", run_check_obs),
         ("doctests", run_doctests),
     )
     failures = []

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Observability smoke gate: deterministic traces and metrics on a fake clock.
+
+Two round trips, no dataset and no preprocessing, so the gate runs in
+milliseconds:
+
+1. **Trace export** — drive a :class:`repro.obs.trace.TraceRecorder` on a
+   :class:`repro.resilience.policy.FakeClock` through a nested span tree,
+   twice from scratch, and require the two ``export_jsonl()`` texts to be
+   byte-identical and to parse back through ``parse_trace_jsonl``.
+2. **Metrics snapshot** — exercise counters, gauges and histograms on two
+   :class:`repro.obs.metrics.MetricsRegistry` instances in different
+   creation orders, and require byte-identical ``to_json()`` output plus a
+   correct ``merge``/``reset`` round trip.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_obs.py
+
+Exits 0 when the observability layer is deterministic, 1 otherwise.  Runs as
+a gate inside ``scripts/check_all.py``; the full behaviour suite lives in
+``tests/test_obs.py`` (marker ``obs``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _build_trace(clock) -> str:
+    from repro.obs.trace import TraceRecorder
+
+    recorder = TraceRecorder(clock=clock)
+    with recorder.span("engine.suggest_many", q=3):
+        with recorder.span("oracle.is_satisfactory_many", q=3):
+            clock.advance(0.25)
+        with recorder.span("preprocess.pair_chunk", start=0, stop=64) as span:
+            clock.advance(0.5)
+            span.set("n_pairs", 7)
+    return recorder.export_jsonl()
+
+
+def check_trace_determinism() -> list[str]:
+    from repro.obs.trace import parse_trace_jsonl
+    from repro.resilience.policy import FakeClock
+
+    first = _build_trace(FakeClock())
+    second = _build_trace(FakeClock())
+    errors = []
+    if first != second:
+        errors.append("trace exports differ across two identical FakeClock runs")
+    header, spans = parse_trace_jsonl(first)
+    if header["n_spans"] != 3 or len(spans) != 3:
+        errors.append(f"expected 3 spans in the export, got {header} / {len(spans)}")
+    durations = {span["name"]: span["duration"] for span in spans}
+    if durations.get("oracle.is_satisfactory_many") != 0.25:
+        errors.append("FakeClock durations did not land in the spans")
+    return errors
+
+
+def _build_metrics(order_swapped: bool):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    series = [("2d", 2), ("approximate", 5)]
+    if order_swapped:
+        series = series[::-1]
+    for engine, count in series:
+        registry.counter("engine.queries", engine=engine).inc(count)
+    registry.gauge("trace.buffer", recorder="main").set(3)
+    registry.histogram("engine.suggest_seconds").observe(0.002)
+    registry.histogram("engine.suggest_seconds").observe(0.4)
+    return registry
+
+
+def check_metrics_determinism() -> list[str]:
+    errors = []
+    first = _build_metrics(order_swapped=False)
+    second = _build_metrics(order_swapped=True)
+    if first.to_json() != second.to_json():
+        errors.append("metrics snapshots differ across series creation orders")
+    if first.counter_total("engine.queries") != 7:
+        errors.append("counter_total did not sum the labeled series")
+    first.merge(second)
+    if first.counter_total("engine.queries") != 14:
+        errors.append("merge did not add the other registry's counters")
+    first.reset()
+    if first.counter_total("engine.queries") != 0:
+        errors.append("reset did not zero the series in place")
+    return errors
+
+
+def main() -> int:
+    errors = check_trace_determinism() + check_metrics_determinism()
+    for error in errors:
+        print(f"check_obs: {error}")
+    if errors:
+        return 1
+    print("check_obs: OK (byte-identical trace exports and metrics snapshots)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,10 @@ Persisted files carry a checksum; a corrupted file raises a typed
 :class:`IndexIntegrityError` with a rebuild hint.  For serving against flaky
 oracles or with graceful degradation across pipelines, see
 :mod:`repro.resilience` (``ResilientOracle``, ``FallbackConfig``) and
-``docs/robustness.md``.
+``docs/robustness.md``.  For tracing, metrics and replayable workload
+recording around any engine, see :mod:`repro.obs` (``InstrumentedConfig``,
+``MetricsRegistry``, ``TraceRecorder``, ``WorkloadRecorder``) and
+``docs/observability.md``.
 """
 
 from repro.core import (
@@ -76,6 +79,13 @@ from repro.fairness import (
     as_incremental,
 )
 from repro.io import load_engine, load_index, save_engine, save_index
+from repro.obs import (
+    InstrumentedConfig,
+    InstrumentedEngine,
+    MetricsRegistry,
+    TraceRecorder,
+    WorkloadRecorder,
+)
 from repro.ranking import LinearScoringFunction
 from repro.resilience import (
     CircuitBreaker,
@@ -85,7 +95,7 @@ from repro.resilience import (
     RetryPolicy,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -124,6 +134,11 @@ __all__ = [
     "CircuitBreaker",
     "FallbackConfig",
     "FallbackEngine",
+    "InstrumentedConfig",
+    "InstrumentedEngine",
+    "MetricsRegistry",
+    "TraceRecorder",
+    "WorkloadRecorder",
     "ReproError",
     "DatasetError",
     "ScoringFunctionError",

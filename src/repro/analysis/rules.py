@@ -28,6 +28,7 @@ __all__ = [
     "OracleBatchParityRule",
     "TypedExceptionsRule",
     "DeterminismRule",
+    "ObsClockRule",
     "RegistryHygieneRule",
     "all_rules",
     "rules_by_id",
@@ -344,6 +345,78 @@ class DeterminismRule(Rule):
 
 
 # --------------------------------------------------------------------------- #
+# obs-clock
+# --------------------------------------------------------------------------- #
+_OBS_PACKAGE = "repro.obs"
+
+
+class ObsClockRule(Rule):
+    """Observability code never reads the process clock directly.
+
+    The PR-8 observability layer promises byte-identical trace exports and
+    metrics snapshots under a fake clock, which only holds if every duration
+    inside ``repro.obs`` flows through the injected clock seam
+    (``repro.clock.monotonic_clock`` passed in, never called as ``time.*``).
+    A direct ``import time`` — or any call resolving into the ``time``
+    module — inside an ``obs`` package reintroduces untestable wall time.
+    """
+
+    rule_id = "obs-clock"
+    title = "observability modules use the injected clock seam, never time.*"
+    rationale = "PR 8: deterministic traces/metrics need every obs duration injectable"
+
+    @staticmethod
+    def _in_scope(module: ModuleInfo) -> bool:
+        if module.module_name == _OBS_PACKAGE or module.module_name.startswith(
+            _OBS_PACKAGE + "."
+        ):
+            return True
+        return "obs" in module.relpath.split("/")
+
+    def check(self, model: ProjectModel) -> Iterator[Finding]:
+        for module in model.modules:
+            if not self._in_scope(module):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.name.split(".")[0] == "time":
+                            yield self._finding(
+                                module,
+                                node.lineno,
+                                "import time inside an observability module: "
+                                "accept a clock argument (repro.clock) so "
+                                "traces and metrics stay replayable under a "
+                                "fake clock",
+                            )
+                elif isinstance(node, ast.ImportFrom):
+                    if node.level == 0 and (node.module or "").split(".")[0] == "time":
+                        yield self._finding(
+                            module,
+                            node.lineno,
+                            "from time import ... inside an observability "
+                            "module: accept a clock argument (repro.clock) "
+                            "so traces and metrics stay replayable under a "
+                            "fake clock",
+                        )
+                elif isinstance(node, ast.Call):
+                    name = dotted_name(node.func)
+                    if name is None or name.split(".")[0] not in module.imports:
+                        continue
+                    resolved = module.resolve(name)
+                    if resolved is not None and (
+                        resolved == "time" or resolved.startswith("time.")
+                    ):
+                        yield self._finding(
+                            module,
+                            node.lineno,
+                            f"{resolved}() called inside an observability "
+                            "module: durations must come from the injected "
+                            "clock seam (repro.clock), never time.* directly",
+                        )
+
+
+# --------------------------------------------------------------------------- #
 # registry-hygiene
 # --------------------------------------------------------------------------- #
 _REGISTRY_NAMES = {"_ENGINE_REGISTRY", "_CONFIG_TO_NAME"}
@@ -423,6 +496,7 @@ def all_rules() -> tuple[Rule, ...]:
         OracleBatchParityRule(),
         TypedExceptionsRule(),
         DeterminismRule(),
+        ObsClockRule(),
         RegistryHygieneRule(),
     )
 

@@ -94,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also explain what the suggested repair changes about the top-k",
     )
+    suggest.add_argument(
+        "--record-workload",
+        metavar="PATH",
+        help="serve through the instrumented engine and write every answered "
+        "query to PATH as a replayable repro.obs.workload/v1 JSONL log",
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument(
@@ -190,6 +196,14 @@ def _run_suggest(args: argparse.Namespace) -> int:
         except ReproError as error:
             print(f"error: cannot load {args.load_index!r}: {error}", file=sys.stderr)
             return 2
+        if args.record_workload:
+            # Re-wrap the loaded engine: instrumented engines are not
+            # persistable, so recording is always layered on after loading.
+            from repro.obs.instrument import InstrumentedEngine
+
+            designer = FairRankingDesigner._from_engine(
+                InstrumentedEngine.from_engine(designer.engine, record_workload=True)
+            )
         dataset = designer.dataset
     else:
         dataset = _load_dataset(args)
@@ -197,9 +211,20 @@ def _run_suggest(args: argparse.Namespace) -> int:
             config = TwoDConfig()
         else:
             config = ApproxConfig(n_cells=args.n_cells, max_hyperplanes=args.max_hyperplanes)
+        if args.record_workload:
+            from repro.obs.instrument import InstrumentedConfig
+
+            config = InstrumentedConfig(inner=config, record_workload=True)
         designer = FairRankingDesigner(dataset, oracle, config).preprocess()
     if args.save_index:
-        designer.save(args.save_index)
+        if args.record_workload:
+            # The instrumented wrapper itself is not persistable; persist the
+            # inner engine, which answers bit-identically.
+            from repro.io.index_store import save_engine
+
+            save_engine(designer.engine.inner, args.save_index)
+        else:
+            designer.save(args.save_index)
         print(f"engine saved to {args.save_index}")
     if args.weights is not None:
         weights = [float(value) for value in args.weights.split(",")]
@@ -231,6 +256,10 @@ def _run_suggest(args: argparse.Namespace) -> int:
             if getattr(args, "explain", False):
                 print(format_explanation(explain_repair(dataset, result, k=k)))
                 print()
+    if args.record_workload:
+        workload = designer.engine.workload
+        path = workload.save(args.record_workload)
+        print(f"workload recorded to {path} ({workload.n_queries} queries)")
     return 0
 
 

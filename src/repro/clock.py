@@ -1,0 +1,26 @@
+"""The injectable monotonic-clock seam.
+
+Observability code (:mod:`repro.obs`) must never call ``time.*`` directly —
+the ``obs-clock`` contract rule (:mod:`repro.analysis.rules`) enforces that
+every timestamp flows through an injectable clock so two identical runs under
+:class:`repro.resilience.policy.FakeClock` export byte-identical traces and
+metrics snapshots.  This module is the one place the real clock is named:
+it lives *outside* ``repro.obs`` so the rule can stay absolute there.
+
+``monotonic_clock`` is the production default (``time.monotonic`` — legal
+under the ``determinism`` rule, which only bans wall-clock reads).  Tests and
+replayers pass their own zero-argument ``() -> float`` callable instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Zero-argument callable returning monotonically non-decreasing seconds.
+Clock = Callable[[], float]
+
+#: The production clock; inject a ``FakeClock`` for deterministic runs.
+monotonic_clock: Clock = time.monotonic
+
+__all__ = ["Clock", "monotonic_clock"]

@@ -48,6 +48,7 @@ from repro.geometry.arrangement_tree import ArrangementTree
 from repro.geometry.cellplane import CellPlaneIndex, assign_hyperplanes_to_cells
 from repro.geometry.dual import HYPERPLANE_METHODS, hyperplanes_for_dataset
 from repro.geometry.hyperplane import Hyperplane, Region
+from repro.obs.trace import stage_span
 from repro.geometry.partition import (
     AnglePartition,
     AnglePartitionProtocol,
@@ -308,24 +309,34 @@ class ApproximatePreprocessor:
         )
 
         started = time.perf_counter()
-        hyperplanes = self.build_hyperplanes()
+        with stage_span("preprocess.hyperplane_construction") as span:
+            hyperplanes = self.build_hyperplanes()
+            if span is not None:
+                span.set("n_hyperplanes", len(hyperplanes))
         index.n_hyperplanes = len(hyperplanes)
         index.timings.hyperplane_construction = time.perf_counter() - started
 
         started = time.perf_counter()
-        cell_plane_index = assign_hyperplanes_to_cells(self.partition, hyperplanes)
+        with stage_span("preprocess.cell_plane_assignment"):
+            cell_plane_index = assign_hyperplanes_to_cells(self.partition, hyperplanes)
         index.cell_plane_index = cell_plane_index
         index.timings.cell_plane_assignment = time.perf_counter() - started
 
         started = time.perf_counter()
-        assigned, marked, oracle_calls = self._mark_cells(hyperplanes, cell_plane_index)
+        with stage_span("preprocess.mark_cells") as span:
+            assigned, marked, oracle_calls = self._mark_cells(
+                hyperplanes, cell_plane_index
+            )
+            if span is not None:
+                span.set("oracle_calls", int(oracle_calls))
         index.assigned_angles = assigned
         index.marked = marked
         index.oracle_calls += oracle_calls
         index.timings.mark_cells = time.perf_counter() - started
 
         started = time.perf_counter()
-        self._color_cells(index)
+        with stage_span("preprocess.cell_coloring"):
+            self._color_cells(index)
         index.timings.cell_coloring = time.perf_counter() - started
         return index
 

@@ -258,6 +258,7 @@ def _load_builtin_plugins() -> None:
         return
     _PLUGINS_LOADED = True
     import repro.resilience.fallback  # noqa: F401  (registers on import)
+    import repro.obs.instrument  # noqa: F401  (registers on import)
 
 
 def register_engine(name: str, config_type: type) -> Callable[[type], type]:
@@ -276,10 +277,11 @@ def register_engine(name: str, config_type: type) -> Callable[[type], type]:
 
 
 def available_engines() -> tuple[str, ...]:
-    """Names of all registered engines.
+    """Names of all registered engines (in registration order, which depends
+    on which plugin modules were imported first — sort for a stable view).
 
-    >>> available_engines()
-    ('2d', 'exact', 'approximate', 'fallback')
+    >>> sorted(available_engines())
+    ['2d', 'approximate', 'exact', 'fallback', 'instrumented']
     """
     _load_builtin_plugins()
     return tuple(_ENGINE_REGISTRY)

@@ -17,6 +17,10 @@ needed".  This module implements that verification step for a deployed index:
 * :func:`error_budget_report` summarises a fallback engine's serving
   telemetry (see :mod:`repro.resilience.fallback`) as an error budget —
   freshness watches the *data*, the error budget watches the *serving path*.
+  Since the observability layer landed, ``FallbackTelemetry`` keeps its
+  counts in a :class:`~repro.obs.metrics.MetricsRegistry` (series
+  ``fallback.*``), so the error budget and an obs metrics snapshot read the
+  same counter source; this function's duck-typed view is unchanged.
 
 Cell-level freshness is deliberately finer-grained than the §5.4 sample
 validation in :mod:`repro.core.sampling`, which checks *distinct functions*;

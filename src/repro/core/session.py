@@ -146,6 +146,7 @@ class DesignSession:
         self, weights: Sequence[float] | LinearScoringFunction, note: str = ""
     ) -> ProposalRecord:
         """Submit a weight proposal and record the system's answer."""
+        self._stamp_workload_context(note)
         result = self.designer.suggest(weights)
         record = ProposalRecord(
             step=len(self._records) + 1,
@@ -162,6 +163,17 @@ class DesignSession:
         record = getattr(engine, "last_record", None)
         return getattr(record, "tier", None)
 
+    def _stamp_workload_context(self, note: str) -> None:
+        """Attach the session step/note to workload-recording engines.
+
+        When the designer serves through the ``"instrumented"`` engine with
+        ``record_workload=True``, every recorded query carries the design
+        step that issued it, so a replayed log can be cut per step.
+        """
+        workload = getattr(getattr(self.designer, "engine", None), "workload", None)
+        if workload is not None:
+            workload.set_context(step=len(self._records) + 1, note=note)
+
     def propose_many(self, weights_matrix, note: str = "") -> list[ProposalRecord]:
         """Submit a batch of proposals (one row per weight vector) in one step.
 
@@ -171,6 +183,7 @@ class DesignSession:
         sequentially numbered proposal, exactly as if :meth:`propose` had been
         called per row.
         """
+        self._stamp_workload_context(note)
         results = self.designer.suggest_many(weights_matrix)
         report = getattr(getattr(self.designer, "engine", None), "last_report", None)
         tiers = (

@@ -38,6 +38,7 @@ from repro.fairness.incremental import as_incremental
 from repro.fairness.oracle import FairnessOracle
 from repro.geometry.angles import HALF_PI
 from repro.geometry.dual import build_exchange_angles_2d
+from repro.obs.trace import stage_span
 from repro.core.result import SuggestionResult
 from repro.ranking.scoring import LinearScoringFunction
 
@@ -328,7 +329,10 @@ class TwoDRaySweep:
 
     def run(self) -> TwoDIndex:
         """Sweep the ray from the x-axis to the y-axis and index satisfactory regions."""
-        exchanges = sorted(self.exchange_builder(self.dataset))
+        with stage_span("preprocess.exchange_build") as span:
+            exchanges = sorted(self.exchange_builder(self.dataset))
+            if span is not None:
+                span.set("n_exchanges", len(exchanges))
         index = TwoDIndex(n_exchanges=len(exchanges))
 
         # Ordering at angle 0 (f = x): descending x, ties broken by descending y
@@ -364,21 +368,29 @@ class TwoDRaySweep:
         sector_bounds: list[tuple[float, float]] = []
         previous_angle = 0.0
 
-        for angle, pairs in grouped:
-            if angle > previous_angle:
-                sector_bounds.append((previous_angle, angle))
-                satisfactory_flags.append(evaluate_current())
-                previous_angle = angle
-            for i, j in pairs:
-                position_i, position_j = position_of[i], position_of[j]
-                ordering[position_i], ordering[position_j] = ordering[position_j], ordering[position_i]
-                position_of[i], position_of[j] = position_j, position_i
-                if incremental is not None:
-                    incremental.apply_swap(position_i, position_j)
-        sector_bounds.append((previous_angle, HALF_PI))
-        satisfactory_flags.append(evaluate_current())
+        with stage_span(
+            "preprocess.sweep",
+            n_sectors=len(grouped) + 1,
+            incremental=incremental is not None,
+        ):
+            for angle, pairs in grouped:
+                if angle > previous_angle:
+                    sector_bounds.append((previous_angle, angle))
+                    satisfactory_flags.append(evaluate_current())
+                    previous_angle = angle
+                for i, j in pairs:
+                    position_i, position_j = position_of[i], position_of[j]
+                    ordering[position_i], ordering[position_j] = ordering[position_j], ordering[position_i]
+                    position_of[i], position_of[j] = position_j, position_i
+                    if incremental is not None:
+                        incremental.apply_swap(position_i, position_j)
+            sector_bounds.append((previous_angle, HALF_PI))
+            satisfactory_flags.append(evaluate_current())
 
-        index.intervals = _merge_sectors(sector_bounds, satisfactory_flags)
+        with stage_span("preprocess.interval_build") as span:
+            index.intervals = _merge_sectors(sector_bounds, satisfactory_flags)
+            if span is not None:
+                span.set("n_intervals", len(index.intervals))
         return index
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import DatasetError
+from repro.obs.trace import stage_span
 
 __all__ = [
     "dominates",
@@ -173,14 +174,25 @@ def iter_exchange_pair_chunks(
     column_indices = np.arange(n)[None, :]
     for start in range(0, n, row_chunk_size):
         stop = min(n, start + row_chunk_size)
-        difference = scores[start:stop, None, :] - scores[None, :, :]
-        forward = np.all(difference >= 0.0, axis=2) & np.any(difference > 0.0, axis=2)
-        backward = np.all(difference <= 0.0, axis=2) & np.any(difference < 0.0, axis=2)
-        close = np.all(
-            np.abs(difference) <= atol + rtol * np.abs(scores[None, :, :]), axis=2
-        )
-        eligible = ~forward & ~backward & ~close
-        # Keep only the strict upper triangle of the full matrix: j > i.
-        eligible &= column_indices > np.arange(start, stop)[:, None]
-        i_indices, j_indices = np.nonzero(eligible)
-        yield np.column_stack((i_indices + start, j_indices))
+        # The span closes before the yield so consumer time is not billed
+        # to the chunk; it is a no-op unless an instrumented engine is
+        # preprocessing (repro.obs.trace.activated).
+        with stage_span("preprocess.pair_chunk", start=start, stop=stop) as span:
+            difference = scores[start:stop, None, :] - scores[None, :, :]
+            forward = np.all(difference >= 0.0, axis=2) & np.any(
+                difference > 0.0, axis=2
+            )
+            backward = np.all(difference <= 0.0, axis=2) & np.any(
+                difference < 0.0, axis=2
+            )
+            close = np.all(
+                np.abs(difference) <= atol + rtol * np.abs(scores[None, :, :]), axis=2
+            )
+            eligible = ~forward & ~backward & ~close
+            # Keep only the strict upper triangle of the full matrix: j > i.
+            eligible &= column_indices > np.arange(start, stop)[:, None]
+            i_indices, j_indices = np.nonzero(eligible)
+            pairs = np.column_stack((i_indices + start, j_indices))
+            if span is not None:
+                span.set("n_pairs", int(pairs.shape[0]))
+        yield pairs

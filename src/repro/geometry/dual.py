@@ -52,6 +52,7 @@ from repro.data.dominance import (
 from repro.exceptions import GeometryError
 from repro.geometry.angles import to_angles, to_angles_many
 from repro.geometry.hyperplane import Hyperplane
+from repro.obs.trace import stage_span
 
 __all__ = [
     "exchange_normal",
@@ -509,13 +510,20 @@ def hyperplanes_for_dataset(
         if max_hyperplanes is not None:
             position_pairs = position_pairs[: max_hyperplanes - len(hyperplanes)]
         global_pairs = indices[position_pairs]
-        if method == "batched":
-            hyperplanes.extend(hyperpolar_many(scores, global_pairs))
-        else:
-            for i, j in global_pairs.tolist():
-                hyperplanes.append(
-                    _hyperpolar_unchecked(scores[i], scores[j], label=(i, j))
-                )
+        # Per-chunk span around the stacked-SVD + batched-solve kernel (or
+        # the scalar reference loop); no-op outside instrumented runs.
+        with stage_span(
+            "preprocess.hyperplane_chunk",
+            method=method,
+            n_pairs=int(global_pairs.shape[0]),
+        ):
+            if method == "batched":
+                hyperplanes.extend(hyperpolar_many(scores, global_pairs))
+            else:
+                for i, j in global_pairs.tolist():
+                    hyperplanes.append(
+                        _hyperpolar_unchecked(scores[i], scores[j], label=(i, j))
+                    )
         if max_hyperplanes is not None and len(hyperplanes) >= max_hyperplanes:
             break
     return hyperplanes

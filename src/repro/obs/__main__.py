@@ -1,0 +1,10 @@
+"""``python -m repro.obs`` — the observability report CLI (see report.py)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

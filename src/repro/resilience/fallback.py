@@ -56,6 +56,7 @@ from repro.exceptions import (
     NotPreprocessedError,
 )
 from repro.fairness.oracle import FairnessOracle
+from repro.obs.metrics import MetricsRegistry
 from repro.ranking.scoring import LinearScoringFunction
 
 __all__ = [
@@ -190,20 +191,87 @@ class BatchReport:
         return dict(counts)
 
 
-@dataclass
+class _TierCounterView:
+    """``collections.Counter``-like view over one tier-labeled metric family.
+
+    Supports exactly what telemetry consumers use: ``view[tier] += n``,
+    ``dict(view)`` and iteration.  Reads and writes go straight to the
+    underlying :class:`~repro.obs.metrics.MetricsRegistry` series, so there
+    is one counter source however many readers look at it.
+    """
+
+    def __init__(self, metrics: MetricsRegistry, name: str) -> None:
+        self._metrics = metrics
+        self._name = name
+
+    def __getitem__(self, tier: str) -> int:
+        return self._metrics.counter(self._name, tier=tier).value
+
+    def __setitem__(self, tier: str, value: int) -> None:
+        self._metrics.counter(self._name, tier=tier).value = int(value)
+
+    def keys(self) -> list:
+        return [
+            dict(series.labels).get("tier")
+            for series in self._metrics.counter_series(self._name)
+        ]
+
+    def __iter__(self):
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({dict(self)!r})"
+
+
 class FallbackTelemetry:
     """Cumulative serving counters across the life of a fallback engine.
 
-    ``repro.core.monitoring.error_budget_report`` consumes this to report an
-    error budget; the attributes are deliberately plain so monitoring stays
-    decoupled from this module.
+    Since PR 8 the counters live in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``fallback.queries``,
+    ``fallback.failovers``, ``fallback.unanswered``, plus the tier-labeled
+    ``fallback.answered`` / ``fallback.tier_failures`` families) — pass
+    ``metrics=`` to share a registry with an instrumented engine so the
+    error budget and ``python -m repro.obs report`` read one counter source.
+    The public surface is unchanged:
+    ``repro.core.monitoring.error_budget_report`` still duck-types on plain
+    ``n_queries``/``n_failovers``/``n_unanswered`` ints and dict-able
+    ``answered_by``/``tier_failures``.
     """
 
-    n_queries: int = 0
-    n_failovers: int = 0
-    n_unanswered: int = 0
-    answered_by: Counter = field(default_factory=Counter)
-    tier_failures: Counter = field(default_factory=Counter)
+    def __init__(self, metrics: MetricsRegistry | None = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queries = self.metrics.counter("fallback.queries")
+        self._failovers = self.metrics.counter("fallback.failovers")
+        self._unanswered = self.metrics.counter("fallback.unanswered")
+        self.answered_by = _TierCounterView(self.metrics, "fallback.answered")
+        self.tier_failures = _TierCounterView(self.metrics, "fallback.tier_failures")
+
+    @property
+    def n_queries(self) -> int:
+        return self._queries.value
+
+    @n_queries.setter
+    def n_queries(self, value: int) -> None:
+        self._queries.value = int(value)
+
+    @property
+    def n_failovers(self) -> int:
+        return self._failovers.value
+
+    @n_failovers.setter
+    def n_failovers(self, value: int) -> None:
+        self._failovers.value = int(value)
+
+    @property
+    def n_unanswered(self) -> int:
+        return self._unanswered.value
+
+    @n_unanswered.setter
+    def n_unanswered(self, value: int) -> None:
+        self._unanswered.value = int(value)
 
     def record_answer(self, tier: str, failover: bool) -> None:
         self.answered_by[tier] += 1
@@ -235,6 +303,7 @@ class FallbackEngine:
         *,
         engines=None,
         clock=None,
+        metrics=None,
     ) -> None:
         config = config if config is not None else FallbackConfig()
         if not isinstance(config, FallbackConfig):
@@ -259,7 +328,7 @@ class FallbackEngine:
         self.engines = engines
         self._active: tuple[tuple[str, object], ...] | None = None
         self.preprocess_errors: tuple[TierError, ...] = ()
-        self.telemetry = FallbackTelemetry()
+        self.telemetry = FallbackTelemetry(metrics=metrics)
         self.last_record: QueryRecord | None = None
         self._last_batch = None
 
@@ -283,6 +352,7 @@ class FallbackEngine:
         per_query_deadline: float | None = None,
         lenient_preprocess: bool = True,
         clock=None,
+        metrics=None,
     ) -> "FallbackEngine":
         """Build a chain over already-constructed (possibly wrapped) engines.
 
@@ -303,6 +373,7 @@ class FallbackEngine:
             ),
             engines=engines,
             clock=clock,
+            metrics=metrics,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,6 @@
+"""Seeded violation: an observability module reading the process clock."""
+import time
+
+
+def now() -> float:
+    return time.monotonic()

@@ -1,0 +1,6 @@
+"""Clean twin: durations flow through the injected clock seam."""
+from repro.clock import Clock, monotonic_clock
+
+
+def now(clock: Clock = monotonic_clock) -> float:
+    return clock()

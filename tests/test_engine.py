@@ -86,7 +86,13 @@ def exact_designer(md_dataset_oracle):
 # --------------------------------------------------------------------------- #
 class TestRegistry:
     def test_builtin_engines_are_registered(self):
-        assert set(available_engines()) == {"2d", "exact", "approximate", "fallback"}
+        assert set(available_engines()) == {
+            "2d",
+            "exact",
+            "approximate",
+            "fallback",
+            "instrumented",
+        }
 
     def test_get_engine_dispatches_by_name(self):
         assert get_engine("2d") is TwoDEngine

@@ -192,7 +192,7 @@ class TestPublicApiSurface:
     def test_top_level_imports(self):
         import repro
 
-        assert repro.__version__ == "1.2.0"
+        assert repro.__version__ == "1.3.0"
         assert hasattr(repro, "FairRankingDesigner")
         assert hasattr(repro, "ProportionalOracle")
         assert hasattr(repro, "LinearScoringFunction")

@@ -1,0 +1,440 @@
+"""Behaviour suite for the observability layer (``repro.obs``).
+
+Covers the four pillars the PR promises:
+
+* **Determinism** — trace exports and metrics snapshots are byte-identical
+  on a fake clock, whatever order the series were created in;
+* **Transparency** — the ``"instrumented"`` engine returns bit-identical
+  answers on the 2-D and approximate paths, and its oracle accounting is
+  arithmetic-identical to :class:`~repro.fairness.oracle.CountingOracle`;
+* **Replayability** — a recorded workload saves, loads and replays bit for
+  bit through a fresh engine;
+* **One counter source** — a fallback engine handed a shared registry keeps
+  ``error_budget_report`` working off the same series the obs report reads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ApproxConfig, TwoDConfig, create_engine
+from repro.core.monitoring import error_budget_report
+from repro.exceptions import ConfigurationError
+from repro.fairness.oracle import CountingOracle
+from repro.obs import (
+    InstrumentedConfig,
+    InstrumentedEngine,
+    MetricsRegistry,
+    TraceRecorder,
+    WorkloadRecorder,
+)
+from repro.obs.instrument import InstrumentedOracle
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS, bucket_label
+from repro.obs.report import main as report_main
+from repro.obs.trace import activated, active_recorder, parse_trace_jsonl, stage_span
+from repro.resilience import FallbackEngine
+from repro.resilience.fallback import FallbackTelemetry
+from repro.ranking.scoring import LinearScoringFunction
+from repro.resilience.policy import FakeClock
+
+pytestmark = pytest.mark.obs
+
+#: Small capped approximate config: every approx test in the repo caps the
+#: hyperplane budget (the uncapped pipeline is super-linear in n).
+CAPPED_APPROX = ApproxConfig(n_cells=25, max_hyperplanes=25)
+
+
+def _queries(q: int, d: int, seed: int = 11) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    weights = np.abs(rng.normal(size=(q, d)))
+    weights[np.all(weights == 0.0, axis=1)] = 1.0
+    return weights
+
+
+# --------------------------------------------------------------------- #
+# tracing
+# --------------------------------------------------------------------- #
+def _drive_spans(clock) -> TraceRecorder:
+    recorder = TraceRecorder(clock=clock)
+    with recorder.span("engine.suggest_many", q=2):
+        with recorder.span("oracle.is_satisfactory_many", q=2):
+            clock.advance(0.25)
+        with recorder.span("preprocess.pair_chunk", start=0, stop=32) as span:
+            clock.advance(0.5)
+            span.set("n_pairs", 4)
+    return recorder
+
+
+def test_trace_export_is_byte_identical_on_fake_clock():
+    first = _drive_spans(FakeClock()).export_jsonl()
+    second = _drive_spans(FakeClock()).export_jsonl()
+    assert first == second
+    header, spans = parse_trace_jsonl(first)
+    assert header["n_spans"] == 3
+    assert header["n_dropped"] == 0
+    durations = {span["name"]: span["duration"] for span in spans}
+    assert durations["oracle.is_satisfactory_many"] == 0.25
+    assert durations["preprocess.pair_chunk"] == 0.5
+    assert durations["engine.suggest_many"] == 0.75
+
+
+def test_span_attributes_and_set_land_in_the_export():
+    recorder = _drive_spans(FakeClock())
+    by_name = {span.name: dict(span.attributes) for span in recorder.spans}
+    assert by_name["preprocess.pair_chunk"]["n_pairs"] == 4
+    assert by_name["engine.suggest_many"]["q"] == 2
+
+
+def test_trace_buffer_is_bounded_and_counts_drops():
+    clock = FakeClock()
+    recorder = TraceRecorder(clock=clock, max_spans=2)
+    for index in range(5):
+        with recorder.span("engine.suggest", index=index):
+            clock.advance(0.01)
+    assert len(recorder.spans) == 2
+    assert recorder.n_dropped == 3
+    header, spans = parse_trace_jsonl(recorder.export_jsonl())
+    assert header["n_spans"] == 2
+    assert header["n_dropped"] == 3
+    assert len(spans) == 2
+
+
+def test_stage_span_is_a_no_op_without_an_active_recorder():
+    assert active_recorder() is None
+    with stage_span("preprocess.pair_chunk", start=0) as span:
+        assert span is None  # inactive: nothing recorded, nothing to set
+
+
+def test_stage_span_records_into_the_activated_recorder():
+    clock = FakeClock()
+    recorder = TraceRecorder(clock=clock)
+    with activated(recorder):
+        assert active_recorder() is recorder
+        with stage_span("preprocess.pair_chunk", start=0) as span:
+            clock.advance(0.125)
+            span.set("n_pairs", 9)
+    assert active_recorder() is None
+    assert recorder.span_names() == ("preprocess.pair_chunk",)
+    assert dict(recorder.spans[0].attributes)["n_pairs"] == 9
+    assert recorder.spans[0].duration == 0.125
+
+
+def test_trace_recorder_clear_resets_spans_and_drops():
+    clock = FakeClock()
+    recorder = TraceRecorder(clock=clock, max_spans=1)
+    for _ in range(3):
+        with recorder.span("engine.suggest"):
+            clock.advance(0.01)
+    recorder.clear()
+    assert recorder.spans == ()
+    assert recorder.n_dropped == 0
+
+
+# --------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------- #
+def _populated_registry(order_swapped: bool) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    series = [("2d", 2), ("approximate", 5)]
+    if order_swapped:
+        series = series[::-1]
+    for engine, count in series:
+        registry.counter("engine.queries", engine=engine).inc(count)
+    registry.gauge("trace.buffer").set(3)
+    registry.histogram("engine.suggest_seconds").observe(0.002)
+    return registry
+
+
+def test_metrics_snapshot_is_independent_of_creation_order():
+    first = _populated_registry(order_swapped=False)
+    second = _populated_registry(order_swapped=True)
+    assert first.to_json() == second.to_json()
+    assert first.counter_total("engine.queries") == 7
+
+
+def test_metrics_merge_adds_and_reset_zeroes():
+    first = _populated_registry(order_swapped=False)
+    second = _populated_registry(order_swapped=True)
+    first.merge(second)
+    assert first.counter_total("engine.queries") == 14
+    snapshot = first.snapshot()
+    histogram = next(
+        series
+        for series in snapshot["histograms"]
+        if series["name"] == "engine.suggest_seconds"
+    )
+    assert histogram["count"] == 2
+    first.reset()
+    assert first.counter_total("engine.queries") == 0
+
+
+def test_metric_names_cannot_change_kind():
+    registry = MetricsRegistry()
+    registry.counter("engine.queries").inc()
+    with pytest.raises(ConfigurationError, match="already registered as a counter"):
+        registry.gauge("engine.queries")
+
+
+def test_bucket_label_covers_bounds_and_overflow():
+    assert bucket_label(0.0, DEFAULT_LATENCY_BUCKETS).startswith("le=")
+    assert bucket_label(1e9, DEFAULT_LATENCY_BUCKETS) == "le=+inf"
+
+
+# --------------------------------------------------------------------- #
+# instrumented engine: transparency
+# --------------------------------------------------------------------- #
+def test_instrumented_2d_engine_is_bit_identical(small_compas_2d, race_oracle_2d):
+    bare = create_engine(small_compas_2d, race_oracle_2d, TwoDConfig()).preprocess()
+    observed = create_engine(
+        small_compas_2d, race_oracle_2d, InstrumentedConfig(inner=TwoDConfig())
+    ).preprocess()
+    queries = _queries(25, 2)
+    assert observed.suggest_many(queries) == bare.suggest_many(queries)
+    function = LinearScoringFunction(tuple(queries[0]))
+    assert observed.suggest(function) == bare.suggest(function)
+
+
+def test_instrumented_approx_engine_is_bit_identical(small_compas_3d, race_oracle_3d):
+    bare = create_engine(small_compas_3d, race_oracle_3d, CAPPED_APPROX).preprocess()
+    observed = create_engine(
+        small_compas_3d, race_oracle_3d, InstrumentedConfig(inner=CAPPED_APPROX)
+    ).preprocess()
+    queries = _queries(10, 3)
+    assert observed.suggest_many(queries) == bare.suggest_many(queries)
+
+
+def test_instrumented_oracle_counts_match_counting_oracle(
+    small_compas_2d, race_oracle_2d
+):
+    counting = CountingOracle(race_oracle_2d)
+    bare = create_engine(small_compas_2d, counting, TwoDConfig()).preprocess()
+    observed = create_engine(
+        small_compas_2d, race_oracle_2d, InstrumentedConfig(inner=TwoDConfig())
+    ).preprocess()
+    queries = _queries(25, 2)
+    assert observed.suggest_many(queries) == bare.suggest_many(queries)
+    assert observed.instrumented_oracle.calls == counting.calls
+    assert observed.metrics.counter_total("oracle.calls") == counting.calls
+
+
+def test_span_coverage_reaches_every_stage(small_compas_2d, race_oracle_2d):
+    observed = create_engine(
+        small_compas_2d, race_oracle_2d, InstrumentedConfig(inner=TwoDConfig())
+    ).preprocess()
+    observed.suggest_many(_queries(5, 2))
+    names = set(observed.recorder.span_names())
+    assert "engine.preprocess" in names
+    assert "engine.suggest_many" in names
+    assert any(name.startswith("oracle.") for name in names)
+    assert any(name.startswith("preprocess.") for name in names)
+
+
+def test_instrumented_engine_counts_queries_and_latency(
+    small_compas_2d, race_oracle_2d
+):
+    observed = create_engine(
+        small_compas_2d, race_oracle_2d, InstrumentedConfig(inner=TwoDConfig())
+    ).preprocess()
+    observed.suggest_many(_queries(7, 2))
+    assert observed.metrics.counter_total("engine.queries") == 7
+    assert observed.metrics.counter_total("engine.suggest_many") == 1
+    snapshot = observed.metrics.snapshot()
+    batch_latency = next(
+        series
+        for series in snapshot["histograms"]
+        if series["name"] == "engine.suggest_many_seconds"
+    )
+    assert batch_latency["count"] == 1
+
+
+def test_from_engine_wraps_a_prebuilt_engine(small_compas_2d, race_oracle_2d):
+    engine = create_engine(small_compas_2d, race_oracle_2d, TwoDConfig()).preprocess()
+    baseline = engine.suggest_many(_queries(5, 2))
+    observed = InstrumentedEngine.from_engine(engine, record_workload=True)
+    assert observed.inner is engine
+    assert isinstance(engine.oracle, InstrumentedOracle)
+    assert observed.suggest_many(_queries(5, 2)) == baseline
+    assert observed.workload.n_queries == 5
+
+
+def test_instrumented_config_rejects_nesting_and_bad_bounds():
+    with pytest.raises(ConfigurationError, match="does not nest"):
+        InstrumentedConfig(inner=InstrumentedConfig())
+    with pytest.raises(ConfigurationError, match="max_spans"):
+        InstrumentedConfig(max_spans=0)
+
+
+def test_instrumented_engine_rejects_foreign_config(small_compas_2d, race_oracle_2d):
+    with pytest.raises(ConfigurationError, match="InstrumentedConfig"):
+        InstrumentedEngine(small_compas_2d, race_oracle_2d, TwoDConfig())
+
+
+def test_instrumented_engine_is_not_persistable(small_compas_2d, race_oracle_2d):
+    observed = create_engine(
+        small_compas_2d, race_oracle_2d, InstrumentedConfig(inner=TwoDConfig())
+    )
+    with pytest.raises(ConfigurationError, match="not\\s+persistable"):
+        observed.to_payload()
+    with pytest.raises(ConfigurationError, match="not persistable"):
+        InstrumentedEngine.from_payload({}, race_oracle_2d)
+
+
+# --------------------------------------------------------------------- #
+# workload recording and replay
+# --------------------------------------------------------------------- #
+def test_workload_save_load_replay_is_bit_identical(
+    tmp_path, small_compas_2d, race_oracle_2d
+):
+    recording = create_engine(
+        small_compas_2d,
+        race_oracle_2d,
+        InstrumentedConfig(inner=TwoDConfig(), record_workload=True),
+    ).preprocess()
+    recording.suggest_many(_queries(12, 2))
+    path = recording.workload.save(tmp_path / "workload.jsonl")
+
+    loaded = WorkloadRecorder.load(path)
+    assert loaded.n_queries == 12
+    fresh = create_engine(
+        small_compas_2d, race_oracle_2d, InstrumentedConfig(inner=TwoDConfig())
+    ).preprocess()
+    report = loaded.replay(fresh)
+    assert report.bit_identical
+    assert report.n_queries == 12
+    assert report.n_skipped == 0
+    assert report.n_mismatched == 0
+
+
+def test_workload_records_carry_context_and_buckets(small_compas_2d, race_oracle_2d):
+    recording = create_engine(
+        small_compas_2d,
+        race_oracle_2d,
+        InstrumentedConfig(inner=TwoDConfig(), record_workload=True),
+    ).preprocess()
+    recording.workload.set_context(session="unit-test")
+    recording.suggest_many(_queries(3, 2))
+    records = recording.workload.records()
+    assert len(records) == 3
+    for record in records:
+        assert record["engine"] == "2d"
+        assert record["context"] == {"session": "unit-test"}
+        assert record["batch_size"] == 3
+        assert record["latency_bucket"].startswith("le=")
+
+
+def test_workload_load_rejects_foreign_formats(tmp_path):
+    path = tmp_path / "bogus.jsonl"
+    path.write_text(json.dumps({"format": "something/else"}) + "\n", encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        WorkloadRecorder.load(path)
+
+
+def test_replay_flags_mismatches_against_a_different_engine(
+    small_compas_2d, race_oracle_2d, paper_2d_dataset, balanced_topk_oracle
+):
+    recording = create_engine(
+        small_compas_2d,
+        race_oracle_2d,
+        InstrumentedConfig(inner=TwoDConfig(), record_workload=True),
+    ).preprocess()
+    recording.suggest_many(_queries(6, 2))
+    other = create_engine(
+        paper_2d_dataset, balanced_topk_oracle, InstrumentedConfig(inner=TwoDConfig())
+    ).preprocess()
+    report = recording.workload.replay(other)
+    assert not report.bit_identical
+    assert report.n_mismatched + report.n_skipped > 0
+
+
+# --------------------------------------------------------------------- #
+# one counter source: fallback telemetry on the shared registry
+# --------------------------------------------------------------------- #
+def test_fallback_telemetry_reads_and_writes_the_registry():
+    metrics = MetricsRegistry()
+    telemetry = FallbackTelemetry(metrics=metrics)
+    telemetry.n_queries += 3
+    telemetry.record_answer("tier0:2d", failover=False)
+    telemetry.record_answer("tier1:approximate", failover=True)
+    telemetry.record_tier_failure("tier0:2d")
+    assert metrics.counter_total("fallback.queries") == 3
+    assert metrics.counter_total("fallback.failovers") == 1
+    assert metrics.counter_total("fallback.answered") == 2
+    assert dict(telemetry.answered_by) == {"tier0:2d": 1, "tier1:approximate": 1}
+    assert dict(telemetry.tier_failures) == {"tier0:2d": 1}
+    assert telemetry.as_dict()["n_failovers"] == 1
+
+
+def test_fallback_engine_shares_a_registry_with_the_budget_report(
+    small_compas_2d, race_oracle_2d
+):
+    metrics = MetricsRegistry()
+    engine = FallbackEngine(
+        small_compas_2d, race_oracle_2d, metrics=metrics
+    ).preprocess()
+    engine.suggest_many(_queries(9, 2))
+    assert engine.telemetry.n_queries == 9
+    assert metrics.counter_total("fallback.queries") == 9
+    report = error_budget_report(engine)
+    assert report.n_queries == 9
+    assert report.n_unanswered == 0
+    assert report.error_rate == 0.0
+
+
+def test_instrumenting_a_fallback_engine_unifies_telemetry(
+    small_compas_2d, race_oracle_2d
+):
+    inner = FallbackEngine(small_compas_2d, race_oracle_2d)
+    observed = InstrumentedEngine.from_engine(inner).preprocess()
+    assert inner.telemetry.metrics is observed.metrics
+    observed.suggest_many(_queries(4, 2))
+    assert observed.metrics.counter_total("fallback.queries") == 4
+    assert observed.metrics.counter_total("engine.queries") == 4
+
+
+# --------------------------------------------------------------------- #
+# report CLI
+# --------------------------------------------------------------------- #
+def test_report_cli_renders_all_three_artifacts(
+    tmp_path, capsys, small_compas_2d, race_oracle_2d
+):
+    recording = create_engine(
+        small_compas_2d,
+        race_oracle_2d,
+        InstrumentedConfig(inner=TwoDConfig(), record_workload=True),
+    ).preprocess()
+    recording.suggest_many(_queries(5, 2))
+    metrics_path = recording.metrics.save(tmp_path / "metrics.json")
+    trace_path = recording.recorder.save(tmp_path / "trace.jsonl")
+    workload_path = recording.workload.save(tmp_path / "workload.jsonl")
+
+    status = report_main(
+        [
+            "report",
+            "--metrics",
+            str(metrics_path),
+            "--trace",
+            str(trace_path),
+            "--workload",
+            str(workload_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert status == 0
+    assert "metrics:" in out
+    assert "trace:" in out
+    assert "workload: 5 queries" in out
+
+
+def test_report_cli_requires_at_least_one_artifact(capsys):
+    assert report_main(["report"]) == 2
+    assert "nothing to report" in capsys.readouterr().err
+
+
+def test_report_cli_rejects_misformatted_files(tmp_path, capsys):
+    bogus = tmp_path / "metrics.json"
+    bogus.write_text(json.dumps({"format": "nope"}), encoding="utf-8")
+    assert report_main(["report", "--metrics", str(bogus)]) == 2
+    assert "repro.obs report:" in capsys.readouterr().err

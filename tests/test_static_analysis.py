@@ -94,6 +94,7 @@ class TestRuleFixtures:
         "oracle-batch-parity": "oracle_batch_parity",
         "typed-exceptions": "typed_exceptions",
         "determinism": "determinism",
+        "obs-clock": "obs_clock/obs",
         "registry-hygiene": "registry_hygiene",
     }
 
