@@ -10,19 +10,28 @@ Runs, in order:
 3. ``scripts/check_obs.py`` — the observability layer produces byte-identical
    trace exports and metrics snapshots on a fake clock;
 4. the doctest pass — ``pytest --doctest-modules`` over the modules whose
-   ``>>>`` examples are load-bearing documentation.
+   ``>>>`` examples are load-bearing documentation;
+5. the differential smoke — the serial-vs-pooled bit-identity test at
+   workers 1 and 2 on one small dataset
+   (``tests/test_parallel_equivalence.py``, the unconditional smoke target).
 
 Usage::
 
-    PYTHONPATH=src python scripts/check_all.py
+    PYTHONPATH=src python scripts/check_all.py            # every gate
+    PYTHONPATH=src python scripts/check_all.py --quick    # differential smoke only
+
+``--quick`` is the fast inner-loop check while working on the parallel
+layer: it runs only the differential smoke, which forks real worker
+processes even on a single-CPU machine.
 
 Prints one PASS/FAIL line per gate and exits 0 only when every gate passed.
 This is the command to run before opening a PR; the full test suite
-(``PYTHONPATH=src python -m pytest -q``) re-enforces all three in tier-1.
+(``PYTHONPATH=src python -m pytest -q``) re-enforces all of them in tier-1.
 """
 
 from __future__ import annotations
 
+import argparse
 import importlib.util
 import subprocess
 import sys
@@ -32,6 +41,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Modules whose doctests are part of the documentation contract.
 DOCTEST_MODULES = ("src/repro/geometry/dual.py", "src/repro/core/engine.py")
+
+#: The unconditional serial-vs-pooled smoke test (workers 1 and 2, one small
+#: dataset) — must stay cheap enough to run on every check_all invocation.
+DIFFERENTIAL_SMOKE = (
+    "tests/test_parallel_equivalence.py::test_differential_smoke_workers_1_and_2"
+)
 
 
 def _load_script(name: str):
@@ -53,18 +68,9 @@ def run_check_obs() -> int:
     return _load_script("check_obs").main()
 
 
-def run_doctests() -> int:
+def _run_pytest(args: tuple[str, ...], ok_message: str) -> int:
     result = subprocess.run(
-        [
-            sys.executable,
-            "-m",
-            "pytest",
-            "--doctest-modules",
-            "-q",
-            "-p",
-            "no:cacheprovider",
-            *DOCTEST_MODULES,
-        ],
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider", *args],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,
@@ -74,17 +80,41 @@ def run_doctests() -> int:
         if result.stderr.strip():
             print(result.stderr.strip())
     else:
-        print(f"doctests: OK ({', '.join(DOCTEST_MODULES)})")
+        print(ok_message)
     return result.returncode
 
 
-def main() -> int:
+def run_doctests() -> int:
+    return _run_pytest(
+        ("--doctest-modules", *DOCTEST_MODULES),
+        f"doctests: OK ({', '.join(DOCTEST_MODULES)})",
+    )
+
+
+def run_differential_smoke() -> int:
+    return _run_pytest(
+        (DIFFERENTIAL_SMOKE,),
+        "differential smoke: OK (serial == pooled at workers 1 and 2)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="consolidated pre-PR gate")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run only the serial-vs-pooled differential smoke gate",
+    )
+    args = parser.parse_args(argv)
     gates = (
         ("check_docs", run_check_docs),
         ("check_contracts", run_check_contracts),
         ("check_obs", run_check_obs),
         ("doctests", run_doctests),
+        ("differential_smoke", run_differential_smoke),
     )
+    if args.quick:
+        gates = (("differential_smoke", run_differential_smoke),)
     failures = []
     for name, gate in gates:
         status = gate()

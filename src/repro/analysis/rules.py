@@ -269,6 +269,11 @@ _WALL_CLOCK_TAILS = {
     ("datetime", "today"),
     ("date", "today"),
 }
+#: Process-pool constructors whose workers inherit ambient state on fork.
+_POOL_EXECUTORS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+}
 
 
 class DeterminismRule(Rule):
@@ -280,14 +285,30 @@ class DeterminismRule(Rule):
     (``time.monotonic`` / ``time.perf_counter``) is fine — the PR-6 clock seam
     injects it; wall-clock and hidden RNG state are not reproducible across
     shards or replays.
+
+    Inside the PR-9 parallel modules the rule additionally requires every
+    ``ProcessPoolExecutor(...)`` to pass an ``initializer=``: forked workers
+    inherit the parent's ambient trace recorder and RNG state, so a pool
+    without a worker initializer (which must detach the recorder and derive
+    per-shard seeds — see :mod:`repro.parallel.shards`) silently breaks the
+    bit-identity guarantee.
     """
 
     rule_id = "determinism"
     title = "no unseeded RNG or wall-clock access outside approved modules"
     rationale = "PR 1/6: seeded draws and injectable clocks keep serving replayable"
 
+    @staticmethod
+    def _parallel_scope(module: ModuleInfo) -> bool:
+        if module.module_name == "repro.parallel" or module.module_name.startswith(
+            "repro.parallel."
+        ):
+            return True
+        return "parallel" in module.relpath.split("/")
+
     def check(self, model: ProjectModel) -> Iterator[Finding]:
         for module in model.modules:
+            in_parallel = self._parallel_scope(module)
             for node in ast.walk(module.tree):
                 if not isinstance(node, ast.Call):
                     continue
@@ -302,6 +323,22 @@ class DeterminismRule(Rule):
                 resolved = module.resolve(name)
                 if resolved is None:
                     continue
+                if (
+                    in_parallel
+                    and resolved in _POOL_EXECUTORS
+                    and not any(
+                        keyword.arg == "initializer" for keyword in node.keywords
+                    )
+                ):
+                    yield self._finding(
+                        module,
+                        node.lineno,
+                        "ProcessPoolExecutor(...) without initializer= in a "
+                        "parallel module: forked workers inherit the ambient "
+                        "trace recorder and RNG state; pass an initializer that "
+                        "calls reset_stage_recorder() and re-seeds from "
+                        "derive_shard_seed(...)",
+                    )
                 message = self._violation(resolved, node)
                 if message is not None:
                     yield self._finding(module, node.lineno, message)

@@ -100,6 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through the instrumented engine and write every answered "
         "query to PATH as a replayable repro.obs.workload/v1 JSONL log",
     )
+    suggest.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for preprocessing and --weights-file batches "
+        "(answers are bit-identical to --workers 1)",
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument(
@@ -163,6 +170,18 @@ def _run_suggest(args: argparse.Namespace) -> int:
     if args.weights is None and args.weights_file is None:
         print("error: provide --weights and/or --weights-file", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.record_workload:
+        # The workload recorder is an in-process tape; queries answered in
+        # worker processes would never reach it. Refuse rather than silently
+        # record a partial workload.
+        print(
+            "error: --record-workload serves in-process; drop it or use --workers 1",
+            file=sys.stderr,
+        )
+        return 2
     k = args.k if args.k < 1 else int(args.k)
     oracle = ProportionalOracle(
         args.attribute,
@@ -208,9 +227,13 @@ def _run_suggest(args: argparse.Namespace) -> int:
     else:
         dataset = _load_dataset(args)
         if dataset.n_attributes == 2:
-            config = TwoDConfig()
+            config = TwoDConfig(preprocess_workers=args.workers)
         else:
-            config = ApproxConfig(n_cells=args.n_cells, max_hyperplanes=args.max_hyperplanes)
+            config = ApproxConfig(
+                n_cells=args.n_cells,
+                max_hyperplanes=args.max_hyperplanes,
+                preprocess_workers=args.workers,
+            )
         if args.record_workload:
             from repro.obs.instrument import InstrumentedConfig
 
@@ -242,7 +265,15 @@ def _run_suggest(args: argparse.Namespace) -> int:
         if not batch:
             print("error: the weights file contains no weight vectors", file=sys.stderr)
             return 2
-        results = designer.suggest_many(batch)
+        if args.workers > 1:
+            # Shard the batch across worker processes; single queries and
+            # everything else still run in-process on the original engine.
+            from repro.parallel.pool import PoolEngine
+
+            with PoolEngine.from_engine(designer.engine, n_workers=args.workers) as pool:
+                results = FairRankingDesigner._from_engine(pool).suggest_many(batch)
+        else:
+            results = designer.suggest_many(batch)
         for weights, result in zip(batch, results):
             formatted = ", ".join(f"{value:g}" for value in weights)
             if result.satisfactory:

@@ -239,6 +239,11 @@ class ApproximatePreprocessor:
         ``"batched"`` (default) constructs the exchange hyperplanes with the
         stacked :func:`~repro.geometry.dual.hyperpolar_many` kernel;
         ``"scalar"`` uses the bit-identical per-pair reference loop.
+    preprocess_workers:
+        Worker processes for the hyperplane construction (``1`` = serial;
+        ``> 1`` shards the pair-enumeration blocks over
+        :func:`repro.parallel.preprocess.parallel_hyperplanes_for_dataset`,
+        which is bit-identical to the serial path).
     """
 
     def __init__(
@@ -250,6 +255,7 @@ class ApproximatePreprocessor:
         max_hyperplanes: int | None = None,
         convex_layer_k: int | None = None,
         hyperplane_method: str = "batched",
+        preprocess_workers: int = 1,
     ) -> None:
         if dataset.n_attributes < 3:
             raise GeometryError(
@@ -268,6 +274,7 @@ class ApproximatePreprocessor:
         self.max_hyperplanes = max_hyperplanes
         self.convex_layer_k = convex_layer_k
         self.hyperplane_method = hyperplane_method
+        self.preprocess_workers = preprocess_workers
         dimension = dataset.n_attributes - 1
         if isinstance(partition, str):
             if partition == "uniform":
@@ -295,6 +302,16 @@ class ApproximatePreprocessor:
         item_indices = None
         if self.convex_layer_k is not None:
             item_indices = topk_candidate_indices(self.dataset.scores, self.convex_layer_k)
+        if self.preprocess_workers > 1:
+            from repro.parallel.preprocess import parallel_hyperplanes_for_dataset
+
+            return parallel_hyperplanes_for_dataset(
+                self.dataset,
+                item_indices,
+                method=self.hyperplane_method,
+                n_workers=self.preprocess_workers,
+                max_hyperplanes=self.max_hyperplanes,
+            )
         return hyperplanes_for_dataset(
             self.dataset,
             item_indices,

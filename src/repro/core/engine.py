@@ -88,6 +88,9 @@ class TwoDConfig:
     use_incremental:
         Maintain sector verdicts incrementally when the oracle supports the
         incremental protocol (see :mod:`repro.fairness.incremental`).
+    preprocess_workers:
+        Worker processes for the exchange enumeration (``1`` = serial; see
+        :mod:`repro.parallel` — the sharded path is bit-identical).
 
     >>> TwoDConfig().use_incremental
     True
@@ -96,6 +99,13 @@ class TwoDConfig:
     sample_size: int | None = None
     sample_seed: int = 0
     use_incremental: bool = True
+    preprocess_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.preprocess_workers < 1:
+            raise ConfigurationError(
+                f"preprocess_workers must be >= 1, got {self.preprocess_workers}"
+            )
 
 
 @dataclass(frozen=True)
@@ -116,12 +126,17 @@ class ExactConfig:
     sample_size: int | None = None
     sample_seed: int = 0
     hyperplane_method: str = "batched"
+    preprocess_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.hyperplane_method not in ("batched", "scalar"):
             raise ConfigurationError(
                 f"hyperplane_method must be 'batched' or 'scalar', "
                 f"got {self.hyperplane_method!r}"
+            )
+        if self.preprocess_workers < 1:
+            raise ConfigurationError(
+                f"preprocess_workers must be >= 1, got {self.preprocess_workers}"
             )
 
 
@@ -148,6 +163,7 @@ class ApproxConfig:
     sample_size: int | None = None
     sample_seed: int = 0
     hyperplane_method: str = "batched"
+    preprocess_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_cells < 1:
@@ -160,6 +176,10 @@ class ApproxConfig:
             raise ConfigurationError(
                 f"hyperplane_method must be 'batched' or 'scalar', "
                 f"got {self.hyperplane_method!r}"
+            )
+        if self.preprocess_workers < 1:
+            raise ConfigurationError(
+                f"preprocess_workers must be >= 1, got {self.preprocess_workers}"
             )
 
 
@@ -259,6 +279,7 @@ def _load_builtin_plugins() -> None:
     _PLUGINS_LOADED = True
     import repro.resilience.fallback  # noqa: F401  (registers on import)
     import repro.obs.instrument  # noqa: F401  (registers on import)
+    import repro.parallel.pool  # noqa: F401  (registers on import)
 
 
 def register_engine(name: str, config_type: type) -> Callable[[type], type]:
@@ -281,7 +302,7 @@ def available_engines() -> tuple[str, ...]:
     on which plugin modules were imported first — sort for a stable view).
 
     >>> sorted(available_engines())
-    ['2d', 'approximate', 'exact', 'fallback', 'instrumented']
+    ['2d', 'approximate', 'exact', 'fallback', 'instrumented', 'pool']
     """
     _load_builtin_plugins()
     return tuple(_ENGINE_REGISTRY)
@@ -507,8 +528,18 @@ class TwoDEngine(_EngineBase):
     """The §3 pipeline: ``2DRAYSWEEP`` offline, ``2DONLINE`` online."""
 
     def _build_index(self, working: Dataset) -> TwoDIndex:
+        exchange_builder = None
+        if self.config.preprocess_workers > 1:
+            from repro.parallel.preprocess import make_parallel_exchange_builder
+
+            exchange_builder = make_parallel_exchange_builder(
+                self.config.preprocess_workers
+            )
         return TwoDRaySweep(
-            working, self.oracle, use_incremental=self.config.use_incremental
+            working,
+            self.oracle,
+            use_incremental=self.config.use_incremental,
+            exchange_builder=exchange_builder,
         ).run()
 
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
@@ -551,6 +582,7 @@ class ExactEngine(_EngineBase):
             max_hyperplanes=self.config.max_hyperplanes,
             convex_layer_k=self.config.convex_layer_k,
             hyperplane_method=self.config.hyperplane_method,
+            preprocess_workers=self.config.preprocess_workers,
         ).run()
 
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
@@ -595,6 +627,7 @@ class ApproxEngine(_EngineBase):
             max_hyperplanes=self.config.max_hyperplanes,
             convex_layer_k=self.config.convex_layer_k,
             hyperplane_method=self.config.hyperplane_method,
+            preprocess_workers=self.config.preprocess_workers,
         ).run()
 
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:

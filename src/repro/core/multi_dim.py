@@ -88,6 +88,11 @@ class SatRegions:
         :func:`~repro.geometry.dual.hyperpolar_many`; ``"scalar"`` uses the
         per-pair reference loop.  Both are bit-identical, so this is purely a
         preprocessing throughput knob.
+    preprocess_workers:
+        Worker processes for the hyperplane construction (``1`` = serial;
+        ``> 1`` shards the pair-enumeration blocks over
+        :func:`repro.parallel.preprocess.parallel_hyperplanes_for_dataset`,
+        which is bit-identical to the serial path).
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class SatRegions:
         max_hyperplanes: int | None = None,
         convex_layer_k: int | None = None,
         hyperplane_method: str = "batched",
+        preprocess_workers: int = 1,
     ) -> None:
         if dataset.n_attributes < 3:
             raise GeometryError("SatRegions requires d >= 3; use TwoDRaySweep for d = 2")
@@ -112,6 +118,7 @@ class SatRegions:
         self.max_hyperplanes = max_hyperplanes
         self.convex_layer_k = convex_layer_k
         self.hyperplane_method = hyperplane_method
+        self.preprocess_workers = preprocess_workers
         self._hyperplanes: list[Hyperplane] | None = None
 
     # ------------------------------------------------------------------ #
@@ -136,12 +143,23 @@ class SatRegions:
             # The cap is honoured inside the chunked enumeration, so capped
             # sweeps stop constructing early instead of building all O(n²)
             # hyperplanes and slicing.
-            self._hyperplanes = hyperplanes_for_dataset(
-                self.dataset,
-                item_indices,
-                method=self.hyperplane_method,
-                max_hyperplanes=self.max_hyperplanes,
-            )
+            if self.preprocess_workers > 1:
+                from repro.parallel.preprocess import parallel_hyperplanes_for_dataset
+
+                self._hyperplanes = parallel_hyperplanes_for_dataset(
+                    self.dataset,
+                    item_indices,
+                    method=self.hyperplane_method,
+                    n_workers=self.preprocess_workers,
+                    max_hyperplanes=self.max_hyperplanes,
+                )
+            else:
+                self._hyperplanes = hyperplanes_for_dataset(
+                    self.dataset,
+                    item_indices,
+                    method=self.hyperplane_method,
+                    max_hyperplanes=self.max_hyperplanes,
+                )
         return self._hyperplanes
 
     def run(self) -> MDExactIndex:

@@ -23,6 +23,8 @@ __all__ = [
     "skyline_indices",
     "non_dominated_pairs",
     "exchange_pair_indices",
+    "exchange_pairs_for_block",
+    "default_row_chunk_size",
     "iter_exchange_pair_chunks",
 ]
 
@@ -131,6 +133,49 @@ def exchange_pair_indices(
     return np.column_stack((i_indices, j_indices))
 
 
+def default_row_chunk_size(n: int, d: int) -> int:
+    """Rows per enumeration block that keep the broadcast slice near 64 MB.
+
+    This is the default block size of :func:`iter_exchange_pair_chunks`,
+    exposed so the sharded preprocessing driver (:mod:`repro.parallel`) can
+    plan shard boundaries that coincide exactly with the serial chunking.
+    """
+    return max(1, _CHUNK_BUDGET_ELEMENTS // max(1, n * d))
+
+
+def exchange_pairs_for_block(
+    scores: np.ndarray,
+    start: int,
+    stop: int,
+    rtol: float = 1e-5,
+    atol: float = 1e-8,
+) -> np.ndarray:
+    """Exchange pairs ``(i, j)`` with ``start <= i < stop`` and ``j > i``.
+
+    The block-row kernel of :func:`iter_exchange_pair_chunks`, shared with the
+    parallel preprocessing workers (:mod:`repro.parallel.preprocess`) so the
+    sharded path is bit-identical to the serial generator by construction —
+    both run exactly this function over the same ``[start, stop)`` bounds.
+    ``scores`` must be a float ``(n, d)`` matrix.
+    """
+    n = scores.shape[0]
+    if not (0 <= start <= stop <= n):
+        raise DatasetError(
+            f"block bounds [{start}, {stop}) fall outside the {n}-row score matrix"
+        )
+    difference = scores[start:stop, None, :] - scores[None, :, :]
+    forward = np.all(difference >= 0.0, axis=2) & np.any(difference > 0.0, axis=2)
+    backward = np.all(difference <= 0.0, axis=2) & np.any(difference < 0.0, axis=2)
+    close = np.all(
+        np.abs(difference) <= atol + rtol * np.abs(scores[None, :, :]), axis=2
+    )
+    eligible = ~forward & ~backward & ~close
+    # Keep only the strict upper triangle of the full matrix: j > i.
+    eligible &= np.arange(n)[None, :] > np.arange(start, stop)[:, None]
+    i_indices, j_indices = np.nonzero(eligible)
+    return np.column_stack((i_indices + start, j_indices))
+
+
 def iter_exchange_pair_chunks(
     scores: np.ndarray,
     rtol: float = 1e-5,
@@ -168,31 +213,16 @@ def iter_exchange_pair_chunks(
         raise DatasetError("iter_exchange_pair_chunks expects an (n, d) matrix")
     n, d = scores.shape
     if row_chunk_size is None:
-        row_chunk_size = max(1, _CHUNK_BUDGET_ELEMENTS // max(1, n * d))
+        row_chunk_size = default_row_chunk_size(n, d)
     if row_chunk_size < 1:
         raise DatasetError("row_chunk_size must be >= 1")
-    column_indices = np.arange(n)[None, :]
     for start in range(0, n, row_chunk_size):
         stop = min(n, start + row_chunk_size)
         # The span closes before the yield so consumer time is not billed
         # to the chunk; it is a no-op unless an instrumented engine is
         # preprocessing (repro.obs.trace.activated).
         with stage_span("preprocess.pair_chunk", start=start, stop=stop) as span:
-            difference = scores[start:stop, None, :] - scores[None, :, :]
-            forward = np.all(difference >= 0.0, axis=2) & np.any(
-                difference > 0.0, axis=2
-            )
-            backward = np.all(difference <= 0.0, axis=2) & np.any(
-                difference < 0.0, axis=2
-            )
-            close = np.all(
-                np.abs(difference) <= atol + rtol * np.abs(scores[None, :, :]), axis=2
-            )
-            eligible = ~forward & ~backward & ~close
-            # Keep only the strict upper triangle of the full matrix: j > i.
-            eligible &= column_indices > np.arange(start, stop)[:, None]
-            i_indices, j_indices = np.nonzero(eligible)
-            pairs = np.column_stack((i_indices + start, j_indices))
+            pairs = exchange_pairs_for_block(scores, start, stop, rtol=rtol, atol=atol)
             if span is not None:
                 span.set("n_pairs", int(pairs.shape[0]))
         yield pairs

@@ -48,6 +48,7 @@ __all__ = [
     "save_engine",
     "load_engine",
     "payload_checksum",
+    "read_store_digest",
     "STORE_FORMAT",
 ]
 
@@ -82,6 +83,31 @@ def _wrap_payload(payload: dict) -> dict:
         "digest": payload_checksum(payload),
         "payload": payload,
     }
+
+
+def read_store_digest(path: str | Path) -> str | None:
+    """The checksum envelope's recorded digest of a store file, or ``None``.
+
+    Returns the ``digest`` field of a :data:`STORE_FORMAT` envelope without
+    reconstructing the payload — enough for a serving pool to pin the exact
+    index bytes every worker must load (each worker compares this digest and
+    the full :func:`load_engine` verification still runs on load).  Returns
+    ``None`` for pre-envelope files; raises
+    :class:`~repro.exceptions.IndexIntegrityError` for unreadable JSON.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise IndexIntegrityError(
+            f"{path} does not contain valid JSON — the file is corrupt or truncated",
+            path=path,
+            hint=_REBUILD_HINT,
+        ) from exc
+    if not isinstance(document, dict) or document.get("format") != STORE_FORMAT:
+        return None
+    digest = document.get("digest")
+    return digest if isinstance(digest, str) else None
 
 
 _REBUILD_HINT = "the file is unusable; rebuild and re-save the index to recover"

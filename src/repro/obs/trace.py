@@ -48,6 +48,7 @@ __all__ = [
     "activated",
     "active_recorder",
     "parse_trace_jsonl",
+    "reset_stage_recorder",
     "stage_span",
 ]
 
@@ -238,6 +239,21 @@ def activated(recorder: TraceRecorder) -> Iterator[TraceRecorder]:
         yield recorder
     finally:
         _ACTIVE = previous
+
+
+def reset_stage_recorder() -> None:
+    """Detach the ambient recorder so :func:`stage_span` becomes a no-op.
+
+    Worker processes forked while a recorder was :func:`activated` in the
+    parent inherit the parent's ``_ACTIVE`` global; recording into that
+    inherited copy would silently diverge from the parent's trace (and the
+    recorder's injected clock may not even be picklable).  The pool and
+    sharded-preprocessing initializers (:mod:`repro.parallel`) call this
+    first thing in every child so stage spans degrade to no-ops there —
+    parent-side spans are unaffected.
+    """
+    global _ACTIVE
+    _ACTIVE = None
 
 
 @contextmanager

@@ -1,0 +1,330 @@
+"""Sharded parallel preprocessing, bit-identical to the serial path.
+
+The serial preprocessing entry points already enumerate exchange pairs in
+bounded-memory row blocks (:func:`repro.data.dominance.iter_exchange_pair_chunks`)
+and construct hyperplanes per chunk
+(:func:`repro.geometry.dual.hyperplanes_for_dataset`).  This module fans the
+very same blocks out over a ``ProcessPoolExecutor``:
+
+* every worker runs :func:`repro.data.dominance.exchange_pairs_for_block` —
+  the exact kernel the serial generator runs — over the exact block bounds
+  the serial chunking would use;
+* per-pair construction (``hyperpolar_many`` / the scalar reference loop) is
+  independent per pair, so constructing a whole block in a worker and taking
+  a prefix in the parent equals constructing the prefix serially;
+* the parent merges results **in chunk-submission order**, never in
+  completion order, so the assembled list is bit-identical to the serial one
+  regardless of worker count or scheduling;
+* ``max_hyperplanes`` is honoured across shards: the parent truncates the
+  merged list at the cap, then cancels every not-yet-started chunk.
+
+Workers call :func:`repro.obs.trace.reset_stage_recorder` first thing (stage
+spans degrade to no-ops in children) and re-seed their RNG from
+:func:`repro.parallel.shards.derive_shard_seed` at the start of every chunk,
+so no worker ever observes inherited recorder state or OS entropy.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.dominance import default_row_chunk_size, exchange_pairs_for_block
+from repro.exceptions import ConfigurationError, DatasetError, GeometryError
+from repro.geometry.dual import (
+    HYPERPLANE_METHODS,
+    _hyperpolar_unchecked,
+    build_exchange_angles_2d,
+    hyperpolar_many,
+    hyperplanes_for_dataset,
+)
+from repro.geometry.hyperplane import Hyperplane
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import reset_stage_recorder, stage_span
+from repro.parallel.shards import derive_shard_seed, plan_shards
+
+__all__ = [
+    "make_parallel_exchange_builder",
+    "parallel_exchange_angles_2d",
+    "parallel_hyperplanes_for_dataset",
+]
+
+# Worker-process globals, populated once per worker by the initializers below
+# (pickled through ``initargs``; with a fork start method they are inherited
+# copy-on-write, so large score matrices are not re-pickled per chunk).
+_SCORES: np.ndarray | None = None
+_RESTRICTED: np.ndarray | None = None
+_INDICES: np.ndarray | None = None
+_METHOD: str = "batched"
+_BASE_SEED: int = 0
+_RNG: np.random.Generator | None = None
+
+
+def _require_workers(n_workers: int) -> int:
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    return int(n_workers)
+
+
+def _executor(n_workers: int, start_method: str | None, initializer, initargs):
+    context = get_context(start_method) if start_method is not None else None
+    return ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=context,
+        initializer=initializer,
+        initargs=initargs,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# d >= 3: sharded hyperplane construction
+# ---------------------------------------------------------------------- #
+def _init_hyperplane_worker(
+    scores: np.ndarray,
+    restricted: np.ndarray,
+    indices: np.ndarray,
+    method: str,
+    base_seed: int,
+) -> None:
+    """Per-worker setup: detach inherited obs state, pin the shared inputs."""
+    global _SCORES, _RESTRICTED, _INDICES, _METHOD, _BASE_SEED
+    reset_stage_recorder()
+    _SCORES = scores
+    _RESTRICTED = restricted
+    _INDICES = indices
+    _METHOD = method
+    _BASE_SEED = base_seed
+
+
+def _hyperplane_chunk_task(chunk_index: int, start: int, stop: int) -> list[Hyperplane]:
+    """Construct every hyperplane of one pair-enumeration block, uncapped.
+
+    Runs in a worker process.  The parent applies the ``max_hyperplanes``
+    prefix truncation while merging — construction is independent per pair,
+    so block-then-prefix equals prefix-then-block.
+    """
+    global _RNG
+    _RNG = np.random.default_rng(derive_shard_seed(_BASE_SEED, chunk_index))
+    position_pairs = exchange_pairs_for_block(_RESTRICTED, start, stop)
+    if position_pairs.shape[0] == 0:
+        return []
+    global_pairs = _INDICES[position_pairs]
+    if _METHOD == "batched":
+        return hyperpolar_many(_SCORES, global_pairs)
+    return [
+        _hyperpolar_unchecked(_SCORES[i], _SCORES[j], (i, j))
+        for i, j in global_pairs.tolist()
+    ]
+
+
+def parallel_hyperplanes_for_dataset(
+    dataset: Dataset,
+    item_indices: np.ndarray | None = None,
+    *,
+    method: str = "batched",
+    n_workers: int = 1,
+    pair_chunk_size: int | None = None,
+    max_hyperplanes: int | None = None,
+    start_method: str | None = None,
+    seed: int = 0,
+    metrics: MetricsRegistry | None = None,
+) -> list[Hyperplane]:
+    """Sharded-parallel :func:`repro.geometry.dual.hyperplanes_for_dataset`.
+
+    Returns a list bit-identical to the serial entry point for every
+    combination of ``n_workers``, ``pair_chunk_size`` and ``max_hyperplanes``
+    (see the module docstring for the argument).  ``n_workers=1`` simply
+    delegates to the serial function.
+
+    Extra parameters over the serial signature
+    ------------------------------------------
+    n_workers:
+        Worker processes to fan the pair-enumeration blocks over.
+    start_method:
+        Optional ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); defaults to the platform default.
+    seed:
+        Base seed the per-chunk worker RNG re-seeding derives from.
+    metrics:
+        Optional registry; increments ``preprocess.parallel_chunks`` and
+        ``preprocess.parallel_hyperplanes`` counters.
+    """
+    _require_workers(n_workers)
+    if n_workers == 1:
+        return hyperplanes_for_dataset(
+            dataset,
+            item_indices,
+            method=method,
+            pair_chunk_size=pair_chunk_size,
+            max_hyperplanes=max_hyperplanes,
+        )
+    if dataset.n_attributes < 3:
+        raise GeometryError("hyperplanes_for_dataset requires d >= 3")
+    if method not in HYPERPLANE_METHODS:
+        raise GeometryError(
+            f"unknown hyperplane construction method {method!r}; "
+            f"expected one of {HYPERPLANE_METHODS}"
+        )
+    if max_hyperplanes is not None and max_hyperplanes < 0:
+        raise GeometryError("max_hyperplanes must be non-negative")
+    if max_hyperplanes == 0:
+        return []
+    if item_indices is None:
+        indices = np.arange(dataset.n_items)
+    else:
+        indices = np.asarray(item_indices, dtype=int)
+    scores = dataset.scores
+    restricted = scores[indices]
+    m, d = restricted.shape
+    row_chunk_size = (
+        pair_chunk_size if pair_chunk_size is not None else default_row_chunk_size(m, d)
+    )
+    if row_chunk_size < 1:
+        raise DatasetError("row_chunk_size must be >= 1")
+    bounds = plan_shards(m, row_chunk_size)
+    if not bounds:
+        return []
+
+    hyperplanes: list[Hyperplane] = []
+    with _executor(
+        min(n_workers, len(bounds)),
+        start_method,
+        _init_hyperplane_worker,
+        (scores, restricted, indices, method, seed),
+    ) as executor:
+        futures = [
+            executor.submit(_hyperplane_chunk_task, chunk_index, start, stop)
+            for chunk_index, (start, stop) in enumerate(bounds)
+        ]
+        # Merge strictly in chunk-submission order: completion order never
+        # influences the output, only how long the parent blocks per future.
+        for chunk_index, future in enumerate(futures):
+            with stage_span(
+                "preprocess.parallel_chunk", chunk=chunk_index, n_workers=n_workers
+            ) as span:
+                chunk_planes = future.result()
+                if max_hyperplanes is not None:
+                    chunk_planes = chunk_planes[: max_hyperplanes - len(hyperplanes)]
+                if span is not None:
+                    span.set("n_hyperplanes", len(chunk_planes))
+            hyperplanes.extend(chunk_planes)
+            if metrics is not None:
+                metrics.counter("preprocess.parallel_chunks").inc()
+                metrics.counter("preprocess.parallel_hyperplanes").inc(len(chunk_planes))
+            if max_hyperplanes is not None and len(hyperplanes) >= max_hyperplanes:
+                for outstanding in futures[chunk_index + 1 :]:
+                    outstanding.cancel()
+                break
+    return hyperplanes
+
+
+# ---------------------------------------------------------------------- #
+# d == 2: sharded exchange-angle enumeration
+# ---------------------------------------------------------------------- #
+def _init_angle_worker(scores: np.ndarray, base_seed: int) -> None:
+    """Per-worker setup for the 2-D angle path."""
+    global _SCORES, _BASE_SEED
+    reset_stage_recorder()
+    _SCORES = scores
+    _BASE_SEED = base_seed
+
+
+def _angle_chunk_task(
+    chunk_index: int, start: int, stop: int
+) -> list[tuple[float, int, int]]:
+    """Enumerate one block's exchange angles; runs in a worker process."""
+    global _RNG
+    _RNG = np.random.default_rng(derive_shard_seed(_BASE_SEED, chunk_index))
+    pairs = exchange_pairs_for_block(_SCORES, start, stop)
+    if pairs.shape[0] == 0:
+        return []
+    differences = _SCORES[pairs[:, 0]] - _SCORES[pairs[:, 1]]
+    # Same Eq. 2 kernel as build_exchange_angles_2d, applied block-wise.
+    angles = np.arctan2(np.abs(differences[:, 0]), np.abs(differences[:, 1]))
+    return [
+        (float(angle), int(i), int(j))
+        for angle, i, j in zip(
+            angles.tolist(), pairs[:, 0].tolist(), pairs[:, 1].tolist()
+        )
+    ]
+
+
+def parallel_exchange_angles_2d(
+    dataset: Dataset,
+    *,
+    n_workers: int = 1,
+    row_chunk_size: int | None = None,
+    start_method: str | None = None,
+    seed: int = 0,
+) -> list[tuple[float, int, int]]:
+    """Sharded-parallel :func:`repro.geometry.dual.build_exchange_angles_2d`.
+
+    Concatenating block results in chunk order reproduces the serial triple
+    list exactly (same pairs, same row-major order, same ``arctan2`` bits);
+    ``n_workers=1`` delegates to the serial function.
+    """
+    _require_workers(n_workers)
+    if n_workers == 1:
+        return build_exchange_angles_2d(dataset)
+    if dataset.n_attributes != 2:
+        raise GeometryError("build_exchange_angles_2d requires a 2-attribute dataset")
+    scores = dataset.scores
+    n = dataset.n_items
+    if row_chunk_size is None:
+        row_chunk_size = default_row_chunk_size(n, 2)
+    if row_chunk_size < 1:
+        raise DatasetError("row_chunk_size must be >= 1")
+    bounds = plan_shards(n, row_chunk_size)
+    if not bounds:
+        return []
+
+    exchanges: list[tuple[float, int, int]] = []
+    with _executor(
+        min(n_workers, len(bounds)), start_method, _init_angle_worker, (scores, seed)
+    ) as executor:
+        futures = [
+            executor.submit(_angle_chunk_task, chunk_index, start, stop)
+            for chunk_index, (start, stop) in enumerate(bounds)
+        ]
+        for chunk_index, future in enumerate(futures):
+            with stage_span(
+                "preprocess.parallel_chunk", chunk=chunk_index, n_workers=n_workers
+            ) as span:
+                chunk = future.result()
+                if span is not None:
+                    span.set("n_exchanges", len(chunk))
+            exchanges.extend(chunk)
+    return exchanges
+
+
+def make_parallel_exchange_builder(
+    n_workers: int,
+    *,
+    row_chunk_size: int | None = None,
+    start_method: str | None = None,
+    seed: int = 0,
+) -> Callable[[Dataset], list[tuple[float, int, int]]]:
+    """Exchange-builder closure for :class:`repro.core.two_dim.TwoDRaySweep`.
+
+    The ray sweep accepts any ``dataset -> [(angle, i, j), ...]`` callable as
+    its ``exchange_builder`` seam; this wraps
+    :func:`parallel_exchange_angles_2d` with a fixed worker count so
+    ``TwoDEngine`` can inject sharded enumeration when
+    ``preprocess_workers > 1``.
+    """
+    _require_workers(n_workers)
+
+    def build(dataset: Dataset) -> list[tuple[float, int, int]]:
+        return parallel_exchange_angles_2d(
+            dataset,
+            n_workers=n_workers,
+            row_chunk_size=row_chunk_size,
+            start_method=start_method,
+            seed=seed,
+        )
+
+    return build

@@ -1,0 +1,189 @@
+"""Differential harness: prove two engines answer a weight grid identically.
+
+The parallel serving/preprocessing layer (PR 9) claims *bit-identity*: a
+pooled engine must be indistinguishable from its serial twin — same answers,
+same oracle-call budget, same persisted index bytes — regardless of worker
+count or shard completion order.  This module is the reusable measuring
+instrument behind that claim:
+
+* :func:`entry_fingerprint` collapses a batch entry — a
+  :class:`~repro.core.result.SuggestionResult` or a
+  :class:`~repro.resilience.fallback.QueryFailure` — into a hashable tuple of
+  *exact* float hex digits (``float.hex``), so two fingerprints are equal iff
+  the answers are bit-identical, never merely close;
+* :func:`oracle_call_count` totals an engine's fairness-oracle calls wherever
+  they happened — the parent oracle's ``calls`` counter plus the pool's
+  ``remote_oracle_calls`` accumulator for calls made in worker processes;
+* :func:`payload_bytes` canonicalises an engine's persisted form
+  (``json.dumps(..., sort_keys=True)``) for byte-for-byte comparison, mapping
+  engines that refuse to serialise (the serving composites) to ``None`` so
+  two non-persistable engines compare equal;
+* :func:`assert_engines_equivalent` runs one weight grid through both engines
+  and asserts all three dimensions at once, reporting the first divergent
+  query on failure.
+
+The harness is deliberately engine-agnostic — any two objects with
+``suggest_many`` / ``oracle`` / ``to_payload`` compare — so it also serves as
+the fast differential smoke target of ``scripts/check_all.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.result import SuggestionResult
+from repro.exceptions import ConfigurationError
+from repro.resilience.fallback import QueryFailure
+
+__all__ = [
+    "assert_engines_equivalent",
+    "entry_fingerprint",
+    "make_weight_grid",
+    "oracle_call_count",
+    "payload_bytes",
+]
+
+
+def _weights_hex(weights) -> tuple[str, ...]:
+    return tuple(float(value).hex() for value in weights)
+
+
+def entry_fingerprint(entry) -> tuple:
+    """Collapse one batch entry into an exact, hashable fingerprint.
+
+    ``SuggestionResult`` → ``("result", query weights, satisfactory,
+    suggested weights, distance)``; ``QueryFailure`` → ``("failure", index,
+    weights, ((tier, error_type, message), ...))``.  All floats are rendered
+    with :meth:`float.hex`, so equality means bit-identity.
+    """
+    if isinstance(entry, QueryFailure):
+        return (
+            "failure",
+            entry.index,
+            _weights_hex(entry.weights),
+            tuple(
+                (error.tier, error.error_type, error.message)
+                for error in entry.errors
+            ),
+        )
+    if isinstance(entry, SuggestionResult):
+        return (
+            "result",
+            _weights_hex(entry.query.weights),
+            entry.satisfactory,
+            _weights_hex(entry.function.weights),
+            float(entry.angular_distance).hex(),
+        )
+    raise ConfigurationError(
+        f"cannot fingerprint a batch entry of type {type(entry).__name__}"
+    )
+
+
+def oracle_call_count(engine) -> float:
+    """Total oracle calls the engine has caused, local and remote.
+
+    Counting oracles expose ``calls``; the pool additionally accumulates
+    ``remote_oracle_calls`` for evaluations made inside worker processes,
+    which the parent-side oracle instance never sees.
+    """
+    local = getattr(getattr(engine, "oracle", None), "calls", 0) or 0
+    remote = getattr(engine, "remote_oracle_calls", 0) or 0
+    return local + remote
+
+
+def payload_bytes(engine) -> bytes | None:
+    """Canonical bytes of the engine's persisted payload.
+
+    ``None`` for engines that refuse to serialise (the serving composites
+    raise ``ConfigurationError`` from ``to_payload``), so two such engines
+    compare equal — per the contract that a pool *is* its inner engine's
+    state plus serving topology.
+
+    The per-stage ``timings`` profile (wall-clock seconds recorded during
+    preprocessing) is scrubbed before comparison: it is observability
+    metadata riding along in the payload, not index state, and wall clocks
+    are the one thing two bit-identical preprocessing runs never agree on.
+    """
+    try:
+        payload = engine.to_payload()
+    except ConfigurationError:
+        return None
+    return json.dumps(_scrub_timings(payload), sort_keys=True).encode("utf-8")
+
+
+def _scrub_timings(value):
+    if isinstance(value, dict):
+        return {
+            key: _scrub_timings(item)
+            for key, item in value.items()
+            if key != "timings"
+        }
+    if isinstance(value, list):
+        return [_scrub_timings(item) for item in value]
+    return value
+
+
+def make_weight_grid(n_queries: int, dimension: int, seed: int = 0) -> np.ndarray:
+    """A deterministic grid of non-negative weight vectors for differential runs.
+
+    Rows are drawn from a seeded RNG and normalised to sum to one; a few
+    deliberately extreme rows (single-attribute spikes) are mixed in so the
+    grid exercises boundary regions, not just the simplex interior.
+    """
+    rng = np.random.default_rng(seed)
+    grid = rng.random((n_queries, dimension))
+    grid /= grid.sum(axis=1, keepdims=True)
+    for row in range(0, n_queries, max(1, n_queries // 3)):
+        spike = np.full(dimension, 0.01)
+        spike[row % dimension] = 1.0
+        grid[row] = spike / spike.sum()
+    return grid
+
+
+def assert_engines_equivalent(
+    engine_a,
+    engine_b,
+    weight_grid,
+    *,
+    check_oracle_calls: bool = True,
+    check_payloads: bool = True,
+) -> list:
+    """Assert two engines answer ``weight_grid`` bit-identically.
+
+    Runs the grid through both engines' ``suggest_many``, then asserts:
+
+    1. per-query answer fingerprints match (reporting the first divergence);
+    2. both runs spent the same number of oracle calls (local + remote);
+    3. the engines' persisted payloads are byte-for-byte equal.
+
+    Returns engine A's entries so callers can make further assertions.
+    """
+    grid = np.asarray(weight_grid, dtype=float)
+    before_a = oracle_call_count(engine_a)
+    entries_a = engine_a.suggest_many(grid)
+    delta_a = oracle_call_count(engine_a) - before_a
+    before_b = oracle_call_count(engine_b)
+    entries_b = engine_b.suggest_many(grid)
+    delta_b = oracle_call_count(engine_b) - before_b
+
+    assert len(entries_a) == len(entries_b) == grid.shape[0], (
+        f"batch sizes diverge: {len(entries_a)} vs {len(entries_b)} "
+        f"for {grid.shape[0]} queries"
+    )
+    for row, (entry_a, entry_b) in enumerate(zip(entries_a, entries_b)):
+        fp_a = entry_fingerprint(entry_a)
+        fp_b = entry_fingerprint(entry_b)
+        assert fp_a == fp_b, (
+            f"query {row} diverges:\n  A: {fp_a}\n  B: {fp_b}"
+        )
+    if check_oracle_calls:
+        assert delta_a == delta_b, (
+            f"oracle-call budgets diverge: {delta_a} vs {delta_b}"
+        )
+    if check_payloads:
+        assert payload_bytes(engine_a) == payload_bytes(engine_b), (
+            "persisted payloads diverge byte-for-byte"
+        )
+    return entries_a

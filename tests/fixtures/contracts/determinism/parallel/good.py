@@ -1,0 +1,14 @@
+"""Clean fixture: the pool passes a worker initializer, as the rule requires."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _init_worker(base_seed):
+    pass
+
+
+def fan_out(task, shards, base_seed):
+    with ProcessPoolExecutor(
+        max_workers=2, initializer=_init_worker, initargs=(base_seed,)
+    ) as executor:
+        return [future.result() for future in [executor.submit(task, s) for s in shards]]

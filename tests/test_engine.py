@@ -92,6 +92,7 @@ class TestRegistry:
             "approximate",
             "fallback",
             "instrumented",
+            "pool",
         }
 
     def test_get_engine_dispatches_by_name(self):

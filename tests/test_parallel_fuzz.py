@@ -1,0 +1,132 @@
+"""Seeded property-based fuzz: the shard merge is invariant to topology.
+
+No Hypothesis in the container, so randomness is explicit and pinned: every
+test draws its dataset from a fixed seed list (the failing seed is right in
+the test id).  The property under test is the heart of the PR-9 tentpole —
+
+    ``parallel == serial`` for every (chunk size, worker count, cap)
+
+over random small datasets: random scores, random group labels, n ≤ 60,
+d ∈ {2, 3, 4}.  Three angles of attack:
+
+* the hyperplane merge (d ≥ 3) must be invariant to chunk size and worker
+  count;
+* the ``max_hyperplanes`` cap must truncate identically whether it falls
+  exactly on a shard edge, one below, or one above — plus the degenerate
+  caps 0 and "everything";
+* the 2-D exchange-angle merge must reproduce the serial kernel exactly.
+
+These run on any machine: the merge path only needs ``n_workers >= 2``
+*requested*, not two physical CPUs (the executors are short-lived and the
+datasets tiny).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.dominance import exchange_pairs_for_block
+from repro.geometry.dual import build_exchange_angles_2d, hyperplanes_for_dataset
+from repro.parallel import (
+    parallel_exchange_angles_2d,
+    parallel_hyperplanes_for_dataset,
+)
+from repro.parallel.shards import plan_shards
+
+pytestmark = pytest.mark.parallel
+
+SEEDS = [11, 23, 37, 59]
+
+
+def _random_dataset(rng: np.random.Generator, dimension: int) -> Dataset:
+    n_items = int(rng.integers(18, 61))
+    scores = rng.uniform(0.1, 10.0, size=(n_items, dimension))
+    groups = rng.choice(np.array(["a", "b", "c"]), size=n_items)
+    return Dataset(
+        scores=scores,
+        scoring_attributes=[f"s{axis}" for axis in range(dimension)],
+        types={"g": groups},
+        name=f"fuzz-{dimension}d",
+    )
+
+
+@pytest.mark.parametrize("dimension", [3, 4])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hyperplane_merge_invariant_to_chunks_and_workers(seed, dimension):
+    rng = np.random.default_rng(seed)
+    dataset = _random_dataset(rng, dimension)
+    serial = hyperplanes_for_dataset(dataset)
+    assert serial, "a random continuous dataset must have exchange hyperplanes"
+    for chunk_size in (1, 5, dataset.n_items):
+        for n_workers in (1, 2):
+            parallel = parallel_hyperplanes_for_dataset(
+                dataset, n_workers=n_workers, pair_chunk_size=chunk_size
+            )
+            assert parallel == serial, (
+                f"merge diverges at chunk_size={chunk_size}, "
+                f"n_workers={n_workers} (seed {seed}, d={dimension})"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cap_truncates_identically_at_shard_edges(seed):
+    """``max_hyperplanes`` at / one below / one above a shard edge, plus the
+    degenerate caps 0 and total — all bit-identical to the serial truncation."""
+    rng = np.random.default_rng(seed)
+    dataset = _random_dataset(rng, 3)
+    chunk_size = int(rng.integers(3, 9))
+    total = len(hyperplanes_for_dataset(dataset))
+
+    # Every eligible pair in a block yields one hyperplane (continuous random
+    # scores: no ties, no degenerate pairs), so the first shard edge in
+    # hyperplane-count space is the pair count of the first row block.
+    start, stop = plan_shards(dataset.n_items, chunk_size)[0]
+    edge = len(exchange_pairs_for_block(dataset.scores, start, stop))
+    assert 0 < edge < total, f"seed {seed} produced a degenerate first shard"
+
+    caps = sorted({0, max(0, edge - 1), edge, min(total, edge + 1), total})
+    for cap in caps:
+        serial = hyperplanes_for_dataset(dataset, max_hyperplanes=cap)
+        assert len(serial) == cap
+        for n_workers in (1, 2):
+            parallel = parallel_hyperplanes_for_dataset(
+                dataset,
+                n_workers=n_workers,
+                pair_chunk_size=chunk_size,
+                max_hyperplanes=cap,
+            )
+            assert parallel == serial, (
+                f"cap {cap} diverges at n_workers={n_workers} "
+                f"(seed {seed}, chunk_size={chunk_size}, edge {edge})"
+            )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_exchange_angle_merge_matches_serial_2d(seed):
+    rng = np.random.default_rng(seed)
+    dataset = _random_dataset(rng, 2)
+    serial = build_exchange_angles_2d(dataset)
+    for chunk_size in (1, 5, dataset.n_items):
+        parallel = parallel_exchange_angles_2d(
+            dataset, n_workers=2, row_chunk_size=chunk_size
+        )
+        assert parallel == serial, (
+            f"2-D angle merge diverges at chunk_size={chunk_size} (seed {seed})"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_scalar_and_batched_methods_agree_in_parallel(seed):
+    """The per-pair scalar fallback and the stacked gufunc kernel stay
+    bit-identical when fanned over shards, exactly as they are serially."""
+    rng = np.random.default_rng(seed)
+    dataset = _random_dataset(rng, 3)
+    batched = parallel_hyperplanes_for_dataset(
+        dataset, n_workers=2, pair_chunk_size=7, method="batched"
+    )
+    scalar = parallel_hyperplanes_for_dataset(
+        dataset, n_workers=2, pair_chunk_size=7, method="scalar"
+    )
+    assert batched == scalar

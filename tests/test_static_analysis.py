@@ -123,6 +123,32 @@ class TestRuleFixtures:
         assert len(result.findings) == 4
         assert len(lines) >= 2
 
+    def test_determinism_flags_uninitialised_pool_in_parallel_scope(self):
+        # The fixture lives under a "parallel" path segment, which puts it in
+        # the rule's parallel scope (as src/repro/parallel/ is).
+        result = run_over([FIXTURES / "determinism" / "parallel" / "bad.py"])
+        fired = [f for f in result.findings if f.rule == "determinism"]
+        assert len(fired) == 1
+        assert "initializer" in fired[0].message
+
+    def test_determinism_accepts_pool_with_initializer_in_parallel_scope(self):
+        result = run_over([FIXTURES / "determinism" / "parallel" / "good.py"])
+        fired = [f for f in result.findings if f.rule == "determinism"]
+        assert fired == [], "\n".join(f.render() for f in fired)
+
+    def test_determinism_ignores_uninitialised_pool_outside_parallel_scope(self, tmp_path):
+        # Same code, no "parallel" path segment: the pool-initializer clause
+        # must not fire outside the parallel modules.
+        victim = tmp_path / "serving.py"
+        victim.write_text(
+            (FIXTURES / "determinism" / "parallel" / "bad.py").read_text(
+                encoding="utf-8"
+            ),
+            encoding="utf-8",
+        )
+        result = run_over([victim])
+        assert [f for f in result.findings if f.rule == "determinism"] == []
+
 
 class TestSuppressionAndAllowlist:
     def test_inline_suppression_comment_silences_the_finding(self):
