@@ -18,11 +18,10 @@ guarded by the ``perf_smoke``-marked tier-1 tests in ``tests/test_engine.py``.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
+from _results import write_bench_record
 
 from repro.core.engine import TwoDConfig
 from repro.core.system import FairRankingDesigner
@@ -96,8 +95,17 @@ def test_batched_suggest_is_identical_and_faster(benchmark, once):
 
 def main() -> None:
     payload = run_grid()
-    output = Path(__file__).resolve().parent.parent / "BENCH_batch_query.json"
-    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    output = write_bench_record(
+        "BENCH_batch_query.json",
+        payload,
+        parameters={
+            "n_values": list(DEFAULT_N_VALUES),
+            "q_values": list(DEFAULT_Q_VALUES),
+            "repeats": 5,
+            "seed": 5,
+        },
+        repeat_policy="best of 5 repeats per (n, q), loop and batched interleaved",
+    )
     for row in payload["results"]:
         print(
             f"n={row['n']} q={row['q']}: loop {row['loop_seconds'] * 1e3:.2f}ms, "

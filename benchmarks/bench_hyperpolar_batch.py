@@ -21,9 +21,9 @@ guarded by the ``perf_smoke``-marked tier-1 tests in ``tests/test_dual.py``.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
+
+from _results import write_bench_record
 
 from repro.data.synthetic import make_uniform_dataset
 from repro.geometry.dual import hyperplanes_for_dataset
@@ -84,8 +84,13 @@ def test_hyperpolar_batch_speedup_and_identity(benchmark, once):
 
 def main() -> None:
     payload = run_grid()
-    output = Path(__file__).resolve().parent.parent / "BENCH_hyperpolar_batch.json"
-    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    output = write_bench_record(
+        "BENCH_hyperpolar_batch.json",
+        payload,
+        parameters={"grid": [list(point) for point in DEFAULT_GRID], "seed": 11},
+        repeat_policy="single timed run per path per (n, d), scalar and "
+        "batched interleaved",
+    )
     for row in payload["results"]:
         print(
             f"n={row['n']} d={row['d']}: scalar {row['scalar_seconds']:.3f}s, "

@@ -23,11 +23,10 @@ the ``perf_smoke``-marked tier-1 tests in ``tests/test_batched_oracle.py``.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import numpy as np
+from _results import write_bench_record
 
 from repro.core.engine import ApproxConfig
 from repro.core.system import FairRankingDesigner
@@ -145,8 +144,20 @@ def test_batched_oracle_precheck_is_identical_and_faster(benchmark, once):
 
 def main() -> None:
     payload = run_grid()
-    output = Path(__file__).resolve().parent.parent / "BENCH_oracle_batch.json"
-    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    output = write_bench_record(
+        "BENCH_oracle_batch.json",
+        payload,
+        parameters={
+            "d_values": list(DEFAULT_D_VALUES),
+            "q_values": list(DEFAULT_Q_VALUES),
+            "n": DEFAULT_N,
+            "n_cells": DEFAULT_N_CELLS,
+            "max_hyperplanes": DEFAULT_MAX_HYPERPLANES,
+            "repeats": 3,
+            "seed": 6,
+        },
+        repeat_policy="best of 3 repeats per (d, q), loop and batched interleaved",
+    )
     for row in payload["results"]:
         print(
             f"d={row['d']} q={row['q']} n={row['n']}: loop {row['loop_seconds'] * 1e3:.2f}ms, "

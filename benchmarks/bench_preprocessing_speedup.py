@@ -20,9 +20,9 @@ the ``perf_smoke``-marked tier-1 tests in ``tests/test_incremental_oracle.py``.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
+
+from _results import write_bench_record
 
 from repro.core.two_dim import TwoDRaySweep
 from repro.data.synthetic import make_compas_like
@@ -111,8 +111,13 @@ def test_preprocessing_speedup_and_equivalence(benchmark, once):
 
 def main() -> None:
     payload = run_grid()
-    output = Path(__file__).resolve().parent.parent / "BENCH_preprocessing.json"
-    output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    output = write_bench_record(
+        "BENCH_preprocessing.json",
+        payload,
+        parameters={"n_values": list(DEFAULT_N_VALUES), "dimension": 2, "seed": 5},
+        repeat_policy="single timed run per path per n, reference and "
+        "vectorized interleaved",
+    )
     for row in payload["results"]:
         print(
             f"n={row['n']}: reference {row['reference_seconds']:.3f}s, "

@@ -13,7 +13,11 @@ Runs, in order:
    ``>>>`` examples are load-bearing documentation;
 5. the differential smoke — the serial-vs-pooled bit-identity test at
    workers 1 and 2 on one small dataset
-   (``tests/test_parallel_equivalence.py``, the unconditional smoke target).
+   (``tests/test_parallel_equivalence.py``, the unconditional smoke target);
+6. the delta smoke — the delta-vs-rebuild bit-identity test on one small
+   dataset (``tests/test_dynamic_equivalence.py``): an engine maintained
+   through ``apply_delta`` must answer identically to a from-scratch rebuild
+   on the mutated dataset.
 
 Usage::
 
@@ -47,6 +51,10 @@ DOCTEST_MODULES = ("src/repro/geometry/dual.py", "src/repro/core/engine.py")
 DIFFERENTIAL_SMOKE = (
     "tests/test_parallel_equivalence.py::test_differential_smoke_workers_1_and_2"
 )
+
+#: The delta-vs-rebuild smoke test (one small 2-D dataset, one mixed delta) —
+#: the cheap incarnation of the PR-10 maintenance bit-identity proof.
+DELTA_SMOKE = "tests/test_dynamic_equivalence.py::TestDeltaSmoke::test_delta_smoke"
 
 
 def _load_script(name: str):
@@ -98,6 +106,13 @@ def run_differential_smoke() -> int:
     )
 
 
+def run_delta_smoke() -> int:
+    return _run_pytest(
+        (DELTA_SMOKE,),
+        "delta smoke: OK (apply_delta == rebuild on the mutated dataset)",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description="consolidated pre-PR gate")
     parser.add_argument(
@@ -112,6 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         ("check_obs", run_check_obs),
         ("doctests", run_doctests),
         ("differential_smoke", run_differential_smoke),
+        ("delta_smoke", run_delta_smoke),
     )
     if args.quick:
         gates = (("differential_smoke", run_differential_smoke),)

@@ -42,7 +42,7 @@ from repro.experiments import (
     format_sweep,
     generate_figures,
 )
-from repro.exceptions import IndexIntegrityError, ReproError
+from repro.exceptions import ConfigurationError, IndexIntegrityError, ReproError
 from repro.fairness.auditing import audit_function, format_audit
 from repro.fairness.proportional import ProportionalOracle
 from repro.ranking.scoring import LinearScoringFunction
@@ -128,6 +128,54 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--k", type=float, default=0.3, help="top-k (count or fraction)")
     audit.add_argument(
         "--weights", required=True, help="comma-separated non-negative weights, e.g. 0.5,0.3,0.2"
+    )
+
+    maintain = subparsers.add_parser(
+        "maintain",
+        help="apply inserts/updates/deletes to a persisted engine's dataset "
+        "and maintain its index through the engine seam",
+    )
+    maintain.add_argument(
+        "--load-index",
+        required=True,
+        metavar="PATH",
+        help="engine file written by 'suggest --save-index' (journaled or plain)",
+    )
+    maintain.add_argument("--attribute", required=True, help="type attribute of the constraint")
+    maintain.add_argument("--group", required=True, help="protected group value")
+    maintain.add_argument("--k", type=float, default=0.3, help="top-k (count or fraction)")
+    maintain.add_argument("--max-share", type=float, help="maximum share of the group in the top-k")
+    maintain.add_argument("--min-share", type=float, help="minimum share of the group in the top-k")
+    maintain.add_argument(
+        "--insert",
+        action="append",
+        default=[],
+        metavar="ROW",
+        help="scoring row to append, e.g. '0.5,0.3,0.2' or "
+        "'0.5,0.3,0.2;race=African-American' when the dataset has type "
+        "attributes (repeatable)",
+    )
+    maintain.add_argument(
+        "--update",
+        action="append",
+        default=[],
+        metavar="INDEX:ROW",
+        help="replace one item's scoring row, e.g. '7:0.5,0.3,0.2' (repeatable)",
+    )
+    maintain.add_argument(
+        "--delete",
+        metavar="INDICES",
+        help="comma-separated item indices to remove, e.g. '3,7'",
+    )
+    maintain.add_argument(
+        "--save-index",
+        metavar="PATH",
+        help="persist the maintained engine to PATH (defaults to not saving)",
+    )
+    maintain.add_argument(
+        "--journaled",
+        action="store_true",
+        help="save as base snapshot + delta journal instead of a flat payload",
     )
 
     figures = subparsers.add_parser(
@@ -294,6 +342,108 @@ def _run_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_insert(spec: str) -> tuple[tuple[float, ...], dict]:
+    """Parse one ``--insert`` value into (scores, {type attribute: value})."""
+    parts = spec.split(";")
+    row = tuple(float(value) for value in parts[0].split(","))
+    types: dict = {}
+    for assignment in parts[1:]:
+        if "=" not in assignment:
+            raise ConfigurationError(
+                f"type assignment {assignment!r} must look like attribute=value"
+            )
+        key, _, value = assignment.partition("=")
+        types[key.strip()] = value.strip()
+    return row, types
+
+
+def _parse_delta(args: argparse.Namespace):
+    """Build a DatasetDelta from the maintain subcommand's arguments."""
+    from repro.core.maintenance import DatasetDelta
+
+    inserts = []
+    per_item_types: list[dict] = []
+    for spec in args.insert:
+        row, types = _parse_insert(spec)
+        inserts.append(row)
+        per_item_types.append(types)
+    attributes = sorted({key for types in per_item_types for key in types})
+    insert_types = {
+        attribute: tuple(types.get(attribute) for types in per_item_types)
+        for attribute in attributes
+    }
+    updates = []
+    for spec in args.update:
+        index_text, _, row_text = spec.partition(":")
+        updates.append(
+            (int(index_text), tuple(float(value) for value in row_text.split(",")))
+        )
+    deletes = (
+        tuple(int(value) for value in args.delete.split(",")) if args.delete else ()
+    )
+    return DatasetDelta(
+        inserts=tuple(inserts),
+        insert_types=insert_types,
+        deletes=deletes,
+        updates=tuple(updates),
+    )
+
+
+def _run_maintain(args: argparse.Namespace) -> int:
+    if args.max_share is None and args.min_share is None:
+        print("error: provide --max-share and/or --min-share", file=sys.stderr)
+        return 2
+    k = args.k if args.k < 1 else int(args.k)
+    oracle = ProportionalOracle(
+        args.attribute,
+        args.group,
+        k=k,
+        min_fraction=args.min_share,
+        max_fraction=args.max_share,
+    )
+    try:
+        delta = _parse_delta(args)
+    except ValueError as error:
+        print(f"error: malformed delta argument: {error}", file=sys.stderr)
+        return 2
+    try:
+        designer = FairRankingDesigner.load(args.load_index, oracle)
+    except IndexIntegrityError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError:
+        print(
+            f"error: engine file {args.load_index!r} does not exist; "
+            "create one with 'suggest --save-index'",
+            file=sys.stderr,
+        )
+        return 2
+    except IsADirectoryError:
+        print(
+            f"error: {args.load_index!r} is a directory, not an engine file",
+            file=sys.stderr,
+        )
+        return 2
+    except ReproError as error:
+        print(f"error: cannot load {args.load_index!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = designer.apply_delta(delta)
+    except ReproError as error:
+        print(f"error: cannot apply the delta: {error}", file=sys.stderr)
+        return 2
+    for key, value in report.as_dict().items():
+        print(f"{key}: {value}")
+    if args.save_index:
+        try:
+            designer.save(args.save_index, journaled=args.journaled)
+        except ReproError as error:
+            print(f"error: cannot save the engine: {error}", file=sys.stderr)
+            return 2
+        print(f"engine saved to {args.save_index}")
+    return 0
+
+
 def _run_experiment(name: str) -> int:
     if name == "fig16":
         result = experiment_fig16_validation()
@@ -358,6 +508,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_suggest(args)
     if args.command == "audit":
         return _run_audit(args)
+    if args.command == "maintain":
+        return _run_maintain(args)
     if args.command == "figures":
         return _run_figures(args)
     return _run_experiment(args.name)

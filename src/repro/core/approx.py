@@ -275,6 +275,9 @@ class ApproximatePreprocessor:
         self.convex_layer_k = convex_layer_k
         self.hyperplane_method = hyperplane_method
         self.preprocess_workers = preprocess_workers
+        #: Hyperplanes the last :meth:`run` consumed (built or injected); the
+        #: engines cache this list for incremental maintenance.
+        self.hyperplanes_: list[Hyperplane] = []
         dimension = dataset.n_attributes - 1
         if isinstance(partition, str):
             if partition == "uniform":
@@ -319,25 +322,40 @@ class ApproximatePreprocessor:
             max_hyperplanes=self.max_hyperplanes,
         )
 
-    def run(self) -> MDApproxIndex:
-        """Execute the full preprocessing pipeline and return the cell index."""
+    def run(
+        self,
+        *,
+        hyperplanes: list[Hyperplane] | None = None,
+        cell_plane_index: CellPlaneIndex | None = None,
+    ) -> MDApproxIndex:
+        """Execute the full preprocessing pipeline and return the cell index.
+
+        ``hyperplanes`` and ``cell_plane_index`` inject precomputed oracle-free
+        geometry (the delta-maintenance path of
+        :meth:`repro.core.engine.ApproxEngine.apply_delta`): injected stages
+        are skipped — their timings stay ``0.0`` — while marking and colouring
+        always re-run, since their oracle verdicts are data-dependent.
+        """
         index = MDApproxIndex(
             dataset=self.dataset, oracle=self.oracle, partition=self.partition
         )
 
-        started = time.perf_counter()
-        with stage_span("preprocess.hyperplane_construction") as span:
-            hyperplanes = self.build_hyperplanes()
-            if span is not None:
-                span.set("n_hyperplanes", len(hyperplanes))
+        if hyperplanes is None:
+            started = time.perf_counter()
+            with stage_span("preprocess.hyperplane_construction") as span:
+                hyperplanes = self.build_hyperplanes()
+                if span is not None:
+                    span.set("n_hyperplanes", len(hyperplanes))
+            index.timings.hyperplane_construction = time.perf_counter() - started
         index.n_hyperplanes = len(hyperplanes)
-        index.timings.hyperplane_construction = time.perf_counter() - started
+        self.hyperplanes_ = hyperplanes
 
-        started = time.perf_counter()
-        with stage_span("preprocess.cell_plane_assignment"):
-            cell_plane_index = assign_hyperplanes_to_cells(self.partition, hyperplanes)
+        if cell_plane_index is None:
+            started = time.perf_counter()
+            with stage_span("preprocess.cell_plane_assignment"):
+                cell_plane_index = assign_hyperplanes_to_cells(self.partition, hyperplanes)
+            index.timings.cell_plane_assignment = time.perf_counter() - started
         index.cell_plane_index = cell_plane_index
-        index.timings.cell_plane_assignment = time.perf_counter() - started
 
         started = time.perf_counter()
         with stage_span("preprocess.mark_cells") as span:

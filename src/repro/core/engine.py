@@ -35,10 +35,12 @@ from dataclasses import asdict, dataclass, fields
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from repro.core.approx import ApproximatePreprocessor, MDApproxIndex, md_online
+from repro.core.maintenance import DatasetDelta, MaintenanceReport, maintain_hyperplanes
 from repro.core.multi_dim import MDExactIndex, SatRegions, md_baseline
 from repro.core.result import SuggestionResult
 from repro.core.two_dim import TwoDIndex, TwoDRaySweep
 from repro.data.dataset import Dataset
+from repro.data.dominance import exchange_pairs_touching
 from repro.exceptions import (
     ConfigurationError,
     NoSatisfactoryFunctionError,
@@ -47,7 +49,14 @@ from repro.exceptions import (
 from repro.fairness.batched import evaluate_functions_many
 from repro.fairness.oracle import FairnessOracle
 from repro.geometry.angles import to_angles_many, to_weights
+from repro.geometry.cellplane import merged_cell_plane_index
+from repro.geometry.dual import (
+    build_exchange_angles_2d,
+    exchange_angles_for_pairs,
+    hyperpolar_many,
+)
 from repro.geometry.partition import locate_cells
+from repro.obs.trace import stage_span
 from repro.ranking.scoring import LinearScoringFunction
 
 __all__ = [
@@ -91,21 +100,31 @@ class TwoDConfig:
     preprocess_workers:
         Worker processes for the exchange enumeration (``1`` = serial; see
         :mod:`repro.parallel` — the sharded path is bit-identical).
+    staleness_fraction:
+        Largest fraction of the dataset one :class:`~repro.core.maintenance.DatasetDelta`
+        may mutate before ``apply_delta`` abandons incremental maintenance and
+        rebuilds the index from scratch.
 
     >>> TwoDConfig().use_incremental
     True
+    >>> TwoDConfig(staleness_fraction=1.5)
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.ConfigurationError: staleness_fraction must be in [0, 1], got 1.5
     """
 
     sample_size: int | None = None
     sample_seed: int = 0
     use_incremental: bool = True
     preprocess_workers: int = 1
+    staleness_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.preprocess_workers < 1:
             raise ConfigurationError(
                 f"preprocess_workers must be >= 1, got {self.preprocess_workers}"
             )
+        _check_staleness_fraction(self.staleness_fraction)
 
 
 @dataclass(frozen=True)
@@ -127,6 +146,7 @@ class ExactConfig:
     sample_seed: int = 0
     hyperplane_method: str = "batched"
     preprocess_workers: int = 1
+    staleness_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.hyperplane_method not in ("batched", "scalar"):
@@ -138,6 +158,7 @@ class ExactConfig:
             raise ConfigurationError(
                 f"preprocess_workers must be >= 1, got {self.preprocess_workers}"
             )
+        _check_staleness_fraction(self.staleness_fraction)
 
 
 @dataclass(frozen=True)
@@ -164,6 +185,7 @@ class ApproxConfig:
     sample_seed: int = 0
     hyperplane_method: str = "batched"
     preprocess_workers: int = 1
+    staleness_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.n_cells < 1:
@@ -181,6 +203,13 @@ class ApproxConfig:
             raise ConfigurationError(
                 f"preprocess_workers must be >= 1, got {self.preprocess_workers}"
             )
+        _check_staleness_fraction(self.staleness_fraction)
+
+
+def _check_staleness_fraction(value: float) -> None:
+    """Shared validation of the configs' incremental-maintenance threshold."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"staleness_fraction must be in [0, 1], got {value}")
 
 
 EngineConfig = TwoDConfig | ExactConfig | ApproxConfig
@@ -247,6 +276,12 @@ class QueryEngine(Protocol):
 
     def suggest_many(self, weights_matrix: np.ndarray) -> list[SuggestionResult]:
         """Answer a batch of queries, identically to looping :meth:`suggest`."""
+
+    def apply_delta(self, delta: DatasetDelta) -> MaintenanceReport:
+        """Apply one batch of item mutations, maintaining the index in place."""
+
+    def refresh(self) -> MaintenanceReport:
+        """Re-run the oracle-dependent stages over the engine's cached geometry."""
 
     def capabilities(self) -> EngineCapabilities:
         """Static description of what the engine supports."""
@@ -391,6 +426,8 @@ class _EngineBase:
         self.config = config
         self._index: Any = None
         self._preprocessing_dataset: Dataset | None = None
+        self._journal: list[DatasetDelta] = []
+        self._base_payload: dict[str, Any] | None = None
 
     # -- offline phase ------------------------------------------------- #
     def preprocess(
@@ -411,6 +448,112 @@ class _EngineBase:
 
     def _build_index(self, working: Dataset) -> Any:
         raise NotImplementedError
+
+    # -- maintenance (the build-and-maintain lifecycle) ------------------ #
+    def apply_delta(self, delta: DatasetDelta) -> MaintenanceReport:
+        """Apply one batch of item mutations, maintaining the index in place.
+
+        The maintained engine is *bit-identical* — same answers, same
+        oracle-call budget, same persisted payload bytes — to a from-scratch
+        :meth:`preprocess` on ``delta.apply(self.dataset)``.  Small deltas on
+        eligible engines run the incremental geometry paths; a delta mutating
+        more than ``config.staleness_fraction`` of the dataset (or an engine
+        without its geometry caches, e.g. one rebuilt from a payload) falls
+        back to a full rebuild.  Applied deltas are journaled so
+        :func:`repro.io.index_store.save_engine` can persist a base snapshot
+        plus the delta log.
+        """
+        if not isinstance(delta, DatasetDelta):
+            raise ConfigurationError(
+                f"apply_delta expects a DatasetDelta, got {type(delta).__name__}"
+            )
+        if self._index is None:
+            raise NotPreprocessedError("preprocess() before applying dataset deltas")
+        if delta.is_empty:
+            return MaintenanceReport(engine=self.name, strategy="noop")
+        fraction = delta.staleness_fraction(self.dataset.n_items)
+        mutated = delta.apply(self.dataset)
+        if (
+            self._base_payload is None
+            and not self._journal
+            and self.config.sample_size is None
+            and self.capabilities().persistable
+        ):
+            # Snapshot the pre-delta engine once, before the first mutation:
+            # the journaled payload format replays the delta log against it.
+            self._base_payload = self.to_payload()
+        with stage_span(
+            "maintenance.apply_delta", engine=self.name, n_changes=delta.n_changes
+        ) as span:
+            if fraction > self.config.staleness_fraction or not self._supports_incremental(
+                delta
+            ):
+                strategy = "rebuild"
+                details = self._rebuild_on(mutated)
+            else:
+                strategy = "incremental"
+                details = self._apply_delta_incremental(delta, mutated)
+            if span is not None:
+                span.set("strategy", strategy)
+        self._journal.append(delta)
+        return MaintenanceReport(
+            engine=self.name,
+            strategy=strategy,
+            n_inserted=delta.n_inserted,
+            n_deleted=delta.n_deleted,
+            n_updated=delta.n_updated,
+            staleness_fraction=fraction,
+            details=details,
+        )
+
+    def refresh(self) -> MaintenanceReport:
+        """Re-run the oracle-dependent stages over the engine's cached geometry.
+
+        The partial-refresh hook the freshness monitors drive
+        (:func:`repro.core.monitoring.refresh_if_stale`): oracle verdicts are
+        re-evaluated in full — they are data- and oracle-state-dependent —
+        but the oracle-free geometry (exchange angles, hyperplanes, cell-plane
+        assignments, the arrangement tree) is reused from the engine's caches.
+        Engines without caches (e.g. loaded from a payload) rebuild.
+        """
+        if self._index is None:
+            raise NotPreprocessedError("preprocess() before refreshing")
+        with stage_span("maintenance.refresh", engine=self.name):
+            self._refresh_index()
+        return MaintenanceReport(engine=self.name, strategy="refresh")
+
+    def _supports_incremental(self, delta: DatasetDelta) -> bool:
+        """True when this engine can maintain its index incrementally for ``delta``."""
+        return False
+
+    def _apply_delta_incremental(self, delta: DatasetDelta, mutated: Dataset) -> dict[str, Any]:
+        raise NotImplementedError  # only reachable when _supports_incremental lies
+
+    def _rebuild_on(self, mutated: Dataset) -> dict[str, Any]:
+        """Full-rebuild fallback: preprocess from scratch on the mutated dataset."""
+        self.dataset = mutated
+        self.preprocess()
+        return {"n_items": mutated.n_items}
+
+    def _refresh_index(self) -> None:
+        """Default refresh: rebuild the index on the preprocessing dataset."""
+        self._index = self._build_index(self.preprocessing_dataset)
+
+    @property
+    def journal(self) -> tuple[DatasetDelta, ...]:
+        """Deltas applied since preprocessing (the journaled payload's delta log)."""
+        return tuple(self._journal)
+
+    @property
+    def base_payload(self) -> dict[str, Any] | None:
+        """Engine payload captured before the first delta (None when unavailable).
+
+        Sampled engines never capture a base snapshot: their persisted
+        preprocessing dataset is the sample, so a replayed delta log could not
+        be applied against the full pre-delta dataset.  They persist
+        snapshot-only (``save_engine(..., journaled=False)``).
+        """
+        return self._base_payload
 
     @property
     def is_preprocessed(self) -> bool:
@@ -528,18 +671,85 @@ class TwoDEngine(_EngineBase):
     """The §3 pipeline: ``2DRAYSWEEP`` offline, ``2DONLINE`` online."""
 
     def _build_index(self, working: Dataset) -> TwoDIndex:
-        exchange_builder = None
+        base_builder = build_exchange_angles_2d
         if self.config.preprocess_workers > 1:
             from repro.parallel.preprocess import make_parallel_exchange_builder
 
-            exchange_builder = make_parallel_exchange_builder(
+            base_builder = make_parallel_exchange_builder(
                 self.config.preprocess_workers
             )
-        return TwoDRaySweep(
+        # Capture the exchange triples the sweep consumed: they are the
+        # oracle-free geometry apply_delta() maintains incrementally.
+        captured: dict[str, list[tuple[float, int, int]]] = {}
+
+        def capturing_builder(dataset: Dataset) -> list[tuple[float, int, int]]:
+            triples = list(base_builder(dataset))
+            captured["triples"] = triples
+            return triples
+
+        index = TwoDRaySweep(
             working,
             self.oracle,
             use_incremental=self.config.use_incremental,
-            exchange_builder=exchange_builder,
+            exchange_builder=capturing_builder,
+        ).run()
+        self._exchange_triples: list[tuple[float, int, int]] | None = sorted(
+            captured["triples"]
+        )
+        return index
+
+    def _supports_incremental(self, delta: DatasetDelta) -> bool:
+        return (
+            self.config.sample_size is None
+            and getattr(self, "_exchange_triples", None) is not None
+        )
+
+    def _apply_delta_incremental(self, delta: DatasetDelta, mutated: Dataset) -> dict[str, Any]:
+        """Re-sweep only the exchange pairs touching changed items.
+
+        Pairs between untouched items keep their exchange angles verbatim
+        (eligibility and angle are functions of the two score rows alone);
+        pairs touching an updated, deleted or inserted item are dropped and
+        re-derived with the same vectorised kernels the full build uses, so
+        the merged triple set — and therefore the re-run sweep — is
+        bit-identical to a from-scratch build on the mutated dataset.
+        """
+        mapping = delta.index_map(self.dataset.n_items)
+        touched = delta.touched_new_indices(self.dataset.n_items, mutated.n_items)
+        retained: list[tuple[float, int, int]] = []
+        for angle, i, j in self._exchange_triples:
+            new_i = mapping.get(i)
+            new_j = mapping.get(j)
+            if new_i is None or new_j is None or new_i in touched or new_j in touched:
+                continue
+            retained.append((angle, new_i, new_j))
+        pairs = exchange_pairs_touching(mutated.scores, touched)
+        fresh = exchange_angles_for_pairs(mutated.scores, pairs)
+        merged = sorted(retained + fresh)
+        self.dataset = mutated
+        self._preprocessing_dataset = mutated
+        self._index = TwoDRaySweep(
+            mutated,
+            self.oracle,
+            use_incremental=self.config.use_incremental,
+            exchange_builder=lambda dataset: list(merged),
+        ).run()
+        self._exchange_triples = merged
+        return {
+            "n_retained_exchanges": len(retained),
+            "n_fresh_exchanges": len(fresh),
+        }
+
+    def _refresh_index(self) -> None:
+        triples = getattr(self, "_exchange_triples", None)
+        if triples is None:
+            super()._refresh_index()
+            return
+        self._index = TwoDRaySweep(
+            self.preprocessing_dataset,
+            self.oracle,
+            use_incremental=self.config.use_incremental,
+            exchange_builder=lambda dataset: list(triples),
         ).run()
 
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
@@ -575,7 +785,7 @@ class ExactEngine(_EngineBase):
     """The §4 pipeline: ``SATREGIONS`` offline, ``MDBASELINE`` online."""
 
     def _build_index(self, working: Dataset) -> MDExactIndex:
-        return SatRegions(
+        builder = SatRegions(
             working,
             self.oracle,
             use_arrangement_tree=self.config.use_arrangement_tree,
@@ -583,7 +793,73 @@ class ExactEngine(_EngineBase):
             convex_layer_k=self.config.convex_layer_k,
             hyperplane_method=self.config.hyperplane_method,
             preprocess_workers=self.config.preprocess_workers,
-        ).run()
+        )
+        index = builder.run()
+        # Cache the canonical hyperplane list and the arrangement tree: an
+        # insert-only delta extends the tree instead of rebuilding it.
+        self._exact_hyperplanes = builder.hyperplanes_
+        self._exact_tree = builder.tree_
+        return index
+
+    def _supports_incremental(self, delta: DatasetDelta) -> bool:
+        # The arrangement tree is cached across *insertions* only: deletes and
+        # updates would have to unsplit interior nodes, so they rebuild.
+        return (
+            delta.insert_only
+            and self.config.sample_size is None
+            and self.config.max_hyperplanes is None
+            and self.config.convex_layer_k is None
+            and self.config.use_arrangement_tree
+            and getattr(self, "_exact_tree", None) is not None
+            and getattr(self, "_exact_hyperplanes", None) is not None
+        )
+
+    def _apply_delta_incremental(self, delta: DatasetDelta, mutated: Dataset) -> dict[str, Any]:
+        """Extend the cached arrangement tree with the inserted items' hyperplanes.
+
+        ``SatRegions`` inserts hyperplanes in the canonical ``(j, i)`` label
+        order, so every pair touching an appended item — its larger index is
+        always ``>= n_before`` — sorts after every existing pair: the fresh
+        hyperplanes extend the cached tree exactly as a from-scratch build on
+        the mutated dataset would insert them.  Only the (oracle-dependent)
+        region evaluation re-runs in full.
+        """
+        touched = delta.touched_new_indices(self.dataset.n_items, mutated.n_items)
+        pairs = exchange_pairs_touching(mutated.scores, touched)
+        fresh = hyperpolar_many(mutated.scores, pairs) if pairs.shape[0] else []
+        fresh.sort(key=lambda plane: (plane.label[1], plane.label[0]))
+        tree = self._exact_tree
+        for plane in fresh:
+            tree.insert(plane)
+        merged = list(self._exact_hyperplanes) + fresh
+        self.dataset = mutated
+        self._preprocessing_dataset = mutated
+        self._index = SatRegions(
+            mutated,
+            self.oracle,
+            use_arrangement_tree=True,
+            hyperplane_method=self.config.hyperplane_method,
+            preprocess_workers=self.config.preprocess_workers,
+        ).evaluate_tree(tree, n_hyperplanes=len(merged))
+        self._exact_hyperplanes = merged
+        return {
+            "n_cached_hyperplanes": len(merged) - len(fresh),
+            "n_fresh_hyperplanes": len(fresh),
+        }
+
+    def _refresh_index(self) -> None:
+        tree = getattr(self, "_exact_tree", None)
+        hyperplanes = getattr(self, "_exact_hyperplanes", None)
+        if tree is None or hyperplanes is None:
+            super()._refresh_index()
+            return
+        self._index = SatRegions(
+            self.preprocessing_dataset,
+            self.oracle,
+            use_arrangement_tree=True,
+            hyperplane_method=self.config.hyperplane_method,
+            preprocess_workers=self.config.preprocess_workers,
+        ).evaluate_tree(tree, n_hyperplanes=len(hyperplanes))
 
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
         return md_baseline(self.preprocessing_dataset, self.oracle, self.index, function)
@@ -619,7 +895,7 @@ class ApproxEngine(_EngineBase):
     lookup_chunk_size = 1024
 
     def _build_index(self, working: Dataset) -> MDApproxIndex:
-        return ApproximatePreprocessor(
+        preprocessor = ApproximatePreprocessor(
             working,
             self.oracle,
             n_cells=self.config.n_cells,
@@ -628,7 +904,84 @@ class ApproxEngine(_EngineBase):
             convex_layer_k=self.config.convex_layer_k,
             hyperplane_method=self.config.hyperplane_method,
             preprocess_workers=self.config.preprocess_workers,
-        ).run()
+        )
+        index = preprocessor.run()
+        # Cache the oracle-free geometry apply_delta() maintains: the full
+        # hyperplane list and the CELLPLANE× assignment.
+        self._approx_hyperplanes = preprocessor.hyperplanes_
+        self._approx_cell_plane_index = index.cell_plane_index
+        return index
+
+    def _supports_incremental(self, delta: DatasetDelta) -> bool:
+        # Convex-layer filtering and hyperplane caps make the retained-plane
+        # computation unsound (see maintain_hyperplanes), so either rebuilds.
+        return (
+            self.config.sample_size is None
+            and self.config.max_hyperplanes is None
+            and self.config.convex_layer_k is None
+            and getattr(self, "_approx_hyperplanes", None) is not None
+            and getattr(self, "_approx_cell_plane_index", None) is not None
+        )
+
+    def _apply_delta_incremental(self, delta: DatasetDelta, mutated: Dataset) -> dict[str, Any]:
+        """Re-assign only the cells whose hyperplane set changed.
+
+        The hyperplane list is maintained by
+        :func:`~repro.core.maintenance.maintain_hyperplanes` (drop the planes
+        touching changed items, construct only the fresh pairs' planes, merge
+        in canonical order); the ``CELLPLANE×`` index then re-assigns only the
+        fresh planes geometrically, remapping every retained plane's cell
+        memberships in place.  Marking and colouring — the oracle-dependent
+        stages — re-run in full on the maintained geometry, producing an index
+        bit-identical to a from-scratch build on the mutated dataset.
+        """
+        merged, position_map, fresh_positions = maintain_hyperplanes(
+            self._approx_hyperplanes, delta, mutated.scores, self.dataset.n_items
+        )
+        preprocessor = ApproximatePreprocessor(
+            mutated,
+            self.oracle,
+            n_cells=self.config.n_cells,
+            partition=self.config.partition,
+            hyperplane_method=self.config.hyperplane_method,
+            preprocess_workers=self.config.preprocess_workers,
+        )
+        cell_plane_index = merged_cell_plane_index(
+            preprocessor.partition,
+            self._approx_cell_plane_index,
+            position_map,
+            [merged[position] for position in fresh_positions],
+            fresh_positions,
+        )
+        self.dataset = mutated
+        self._preprocessing_dataset = mutated
+        self._index = preprocessor.run(
+            hyperplanes=merged, cell_plane_index=cell_plane_index
+        )
+        self._approx_hyperplanes = merged
+        self._approx_cell_plane_index = cell_plane_index
+        return {
+            "n_retained_hyperplanes": len(position_map),
+            "n_fresh_hyperplanes": len(fresh_positions),
+        }
+
+    def _refresh_index(self) -> None:
+        hyperplanes = getattr(self, "_approx_hyperplanes", None)
+        cell_plane_index = getattr(self, "_approx_cell_plane_index", None)
+        if hyperplanes is None or cell_plane_index is None:
+            super()._refresh_index()
+            return
+        preprocessor = ApproximatePreprocessor(
+            self.preprocessing_dataset,
+            self.oracle,
+            n_cells=self.config.n_cells,
+            partition=self.config.partition,
+            hyperplane_method=self.config.hyperplane_method,
+            preprocess_workers=self.config.preprocess_workers,
+        )
+        self._index = preprocessor.run(
+            hyperplanes=list(hyperplanes), cell_plane_index=cell_plane_index
+        )
 
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:
         return md_online(self.index, function)

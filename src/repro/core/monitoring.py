@@ -11,9 +11,17 @@ needed".  This module implements that verification step for a deployed index:
   dataset snapshot and reports which cells went stale;
 * :func:`check_two_d_index_freshness` does the same for a 2-D index by probing
   the interior of every satisfactory interval;
+* :func:`check_engine_freshness` dispatches either check through the
+  :class:`~repro.core.engine.QueryEngine` seam, so monitors need not know
+  which index kind an engine serves;
+* :func:`refresh_if_stale` closes the loop: when a check finds stale
+  assignments it drives the engine's ``refresh()`` hook — a cheap partial
+  refresh that re-runs only the oracle-dependent stages over the engine's
+  cached geometry — instead of a full rebuild;
 * :func:`refresh_approx_index` rebuilds the assignment against the new
   snapshot while keeping the same partition, so cell identities (and any
-  caller-side caches keyed by cell) remain stable;
+  caller-side caches keyed by cell) remain stable — the heavyweight path,
+  kept for callers holding a bare index rather than an engine;
 * :func:`error_budget_report` summarises a fallback engine's serving
   telemetry (see :mod:`repro.resilience.fallback`) as an error budget —
   freshness watches the *data*, the error budget watches the *serving path*.
@@ -47,6 +55,8 @@ __all__ = [
     "FreshnessReport",
     "check_approx_index_freshness",
     "check_two_d_index_freshness",
+    "check_engine_freshness",
+    "refresh_if_stale",
     "refresh_approx_index",
     "ErrorBudgetReport",
     "error_budget_report",
@@ -85,6 +95,17 @@ class FreshnessReport:
     def is_fresh(self) -> bool:
         """True if every checked assignment still satisfies the oracle."""
         return self.n_stale == 0
+
+    def as_dict(self) -> dict:
+        """JSON-compatible snapshot (for dashboards, next to the error budget)."""
+        return {
+            "n_checked": self.n_checked,
+            "n_stale": self.n_stale,
+            "stale_indices": list(self.stale_indices),
+            "oracle_calls": self.oracle_calls,
+            "fraction_stale": self.fraction_stale,
+            "is_fresh": self.is_fresh,
+        }
 
 
 @dataclass(frozen=True)
@@ -277,6 +298,95 @@ def check_two_d_index_freshness(
         stale_indices=tuple(stale),
         oracle_calls=oracle_calls,
     )
+
+
+def check_engine_freshness(
+    engine,
+    dataset: Dataset | None = None,
+    *,
+    oracle: FairnessOracle | None = None,
+    sample_cells: int | None = None,
+    probes_per_interval: int = 3,
+    seed: int | None = 0,
+) -> FreshnessReport:
+    """Re-check a preprocessed engine's index through the engine seam.
+
+    Dispatches on the engine's index kind: 2-D engines get
+    :func:`check_two_d_index_freshness`, approximate engines
+    :func:`check_approx_index_freshness`.  Exact engines have no freshness
+    notion — every region carries an oracle verdict for the *build* dataset
+    and a drifted dataset demands an :meth:`apply_delta` — so they raise
+    :class:`~repro.exceptions.ConfigurationError`.
+
+    Parameters
+    ----------
+    engine:
+        A preprocessed :class:`~repro.core.engine.QueryEngine`.
+    dataset:
+        Snapshot to check against; defaults to the engine's current dataset
+        (useful after the oracle's criteria drifted rather than the data).
+    oracle:
+        Oracle to check with; defaults to the engine's oracle.
+    sample_cells, seed:
+        Forwarded to the approximate check.
+    probes_per_interval:
+        Forwarded to the 2-D check.
+    """
+    index = getattr(engine, "index", None)
+    if index is None:
+        raise ConfigurationError(
+            f"engine {getattr(engine, 'name', '?')!r} has no index yet; "
+            "preprocess() before checking freshness"
+        )
+    dataset = dataset if dataset is not None else engine.dataset
+    oracle = oracle if oracle is not None else engine.oracle
+    if isinstance(index, TwoDIndex):
+        return check_two_d_index_freshness(
+            index, dataset, oracle, probes_per_interval=probes_per_interval
+        )
+    if isinstance(index, MDApproxIndex):
+        return check_approx_index_freshness(
+            index, dataset, oracle=oracle, sample_cells=sample_cells, seed=seed
+        )
+    raise ConfigurationError(
+        f"engine {getattr(engine, 'name', '?')!r} serves a "
+        f"{type(index).__name__}, which has no freshness check; exact indexes "
+        "are maintained through apply_delta()"
+    )
+
+
+def refresh_if_stale(
+    engine,
+    *,
+    oracle: FairnessOracle | None = None,
+    sample_cells: int | None = None,
+    probes_per_interval: int = 3,
+    seed: int | None = 0,
+):
+    """Check an engine's freshness and drive a partial refresh when stale.
+
+    The refresh goes through the engine seam
+    (:meth:`~repro.core.engine.QueryEngine.refresh`), which re-runs only the
+    oracle-dependent stages over the engine's cached geometry — cheap next to
+    the full rebuild of :func:`refresh_approx_index`, and applicable to every
+    engine family, not just the approximate one.
+
+    Returns
+    -------
+    (FreshnessReport, MaintenanceReport | None)
+        The freshness report, and the maintenance report of the refresh when
+        one ran (``None`` when the index was fresh).
+    """
+    report = check_engine_freshness(
+        engine,
+        oracle=oracle,
+        sample_cells=sample_cells,
+        probes_per_interval=probes_per_interval,
+        seed=seed,
+    )
+    if report.is_fresh:
+        return report, None
+    return report, engine.refresh()
 
 
 def refresh_approx_index(

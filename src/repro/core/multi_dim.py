@@ -120,6 +120,12 @@ class SatRegions:
         self.hyperplane_method = hyperplane_method
         self.preprocess_workers = preprocess_workers
         self._hyperplanes: list[Hyperplane] | None = None
+        #: Canonically ordered hyperplanes of the last :meth:`run` (the exact
+        #: insertion sequence), and the arrangement tree it built (``None``
+        #: before the first run or when ``use_arrangement_tree=False``).  The
+        #: engines cache both so insert-only deltas extend the tree in place.
+        self.hyperplanes_: list[Hyperplane] = []
+        self.tree_: ArrangementTree | None = None
 
     # ------------------------------------------------------------------ #
     # offline construction
@@ -163,9 +169,23 @@ class SatRegions:
         return self._hyperplanes
 
     def run(self) -> MDExactIndex:
-        """Build the arrangement, evaluate every region and keep the satisfactory ones."""
+        """Build the arrangement, evaluate every region and keep the satisfactory ones.
+
+        Hyperplanes are inserted in the canonical ``(j, i)`` order of their
+        pair labels (larger item index first).  The arrangement — and hence
+        the index — is the same for any insertion order; fixing this one makes
+        the build *delta-extendable*: every exchange pair created by appending
+        an item has a larger index ``>= n``, so its hyperplane sorts after all
+        existing ones and an insert-only delta can continue the cached tree's
+        insertion sequence exactly where a from-scratch build would.
+        """
         dimension = self.dataset.n_attributes - 1
         hyperplanes = self.build_hyperplanes()
+        if all(plane.label is not None for plane in hyperplanes):
+            hyperplanes = sorted(
+                hyperplanes, key=lambda plane: (plane.label[1], plane.label[0])
+            )
+        self.hyperplanes_ = hyperplanes
         index = MDExactIndex(dimension=dimension, n_hyperplanes=len(hyperplanes))
 
         if self.use_arrangement_tree:
@@ -173,11 +193,34 @@ class SatRegions:
             for hyperplane in hyperplanes:
                 tree.insert(hyperplane)
             regions = tree.leaf_regions()
+            self.tree_ = tree
         else:
             arrangement = Arrangement.build(hyperplanes, dimension=dimension)
             regions = arrangement.non_empty_regions()
+            self.tree_ = None
         index.n_regions = len(regions)
+        self._evaluate_regions(regions, index)
+        return index
 
+    def evaluate_tree(self, tree: ArrangementTree, n_hyperplanes: int) -> MDExactIndex:
+        """Evaluate the leaf regions of a (possibly cached) arrangement tree.
+
+        The delta-maintenance and refresh entry point: the tree carries the
+        oracle-free geometry, so only the per-region oracle evaluation — which
+        is data-dependent and must re-run after any change — happens here.
+        The result is exactly what :meth:`run` would produce after inserting
+        the same hyperplane sequence into a fresh tree.
+        """
+        index = MDExactIndex(
+            dimension=self.dataset.n_attributes - 1, n_hyperplanes=int(n_hyperplanes)
+        )
+        regions = tree.leaf_regions()
+        index.n_regions = len(regions)
+        self._evaluate_regions(regions, index)
+        return index
+
+    def _evaluate_regions(self, regions: list[Region], index: MDExactIndex) -> None:
+        """One oracle call per region; keep the satisfactory ones (Algorithm 4 tail)."""
         for region in regions:
             angles = region.interior_point()
             function = LinearScoringFunction(tuple(to_weights(angles)))
@@ -190,7 +233,6 @@ class SatRegions:
                         representative=function,
                     )
                 )
-        return index
 
     # ------------------------------------------------------------------ #
     # online answering (MDBASELINE)

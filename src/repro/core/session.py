@@ -19,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.maintenance import DatasetDelta, MaintenanceReport
 from repro.core.result import SuggestionResult
 from repro.core.system import FairRankingDesigner
 from repro.exceptions import ConfigurationError
@@ -138,6 +139,7 @@ class DesignSession:
             designer.preprocess()
         self.designer = designer
         self._records: list[ProposalRecord] = []
+        self._maintenance: list[dict] = []
 
     # ------------------------------------------------------------------ #
     # the design loop
@@ -229,6 +231,63 @@ class DesignSession:
         return self._records[step - 1]
 
     # ------------------------------------------------------------------ #
+    # dataset maintenance (the dynamic-data loop)
+    # ------------------------------------------------------------------ #
+    def insert(self, rows, types=None, note: str = "") -> MaintenanceReport:
+        """Append items to the live dataset mid-session.
+
+        ``rows`` is a sequence of scoring rows; ``types`` maps each type
+        attribute to one categorical value per inserted row (required when
+        the dataset carries type attributes — fairness oracles consult them).
+        The index is maintained through the engine seam and later proposals
+        are answered against the mutated data.
+        """
+        return self.apply_delta(
+            DatasetDelta(
+                inserts=tuple(tuple(float(v) for v in row) for row in rows),
+                insert_types={} if types is None else types,
+            ),
+            note=note,
+        )
+
+    def update(self, index: int, row, note: str = "") -> MaintenanceReport:
+        """Replace the scoring row of one existing item."""
+        return self.apply_delta(
+            DatasetDelta(updates=((int(index), tuple(float(v) for v in row)),)),
+            note=note,
+        )
+
+    def delete(self, indices, note: str = "") -> MaintenanceReport:
+        """Remove items by their current dataset indices."""
+        return self.apply_delta(
+            DatasetDelta(deletes=tuple(int(i) for i in indices)), note=note
+        )
+
+    def apply_delta(self, delta: DatasetDelta, note: str = "") -> MaintenanceReport:
+        """Apply an arbitrary :class:`~repro.core.maintenance.DatasetDelta`.
+
+        The maintenance event is recorded in the session's audit trail
+        (:attr:`maintenance_history`, serialised by :meth:`to_dict`) with the
+        proposal step it happened after, so a transcript shows which answers
+        were served pre- and post-mutation.
+        """
+        report = self.designer.apply_delta(delta)
+        self._maintenance.append(
+            {
+                "after_step": len(self._records),
+                "note": note,
+                "delta": delta.to_dict(),
+                "report": report.as_dict(),
+            }
+        )
+        return report
+
+    @property
+    def maintenance_history(self) -> list[dict]:
+        """All recorded maintenance events, in order."""
+        return [dict(event) for event in self._maintenance]
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     @property
@@ -307,6 +366,7 @@ class DesignSession:
             "mode": self.designer.mode,
             "config": asdict(self.designer.config),
             "records": [record.as_dict() for record in self._records],
+            "maintenance": self.maintenance_history,
             "summary": {
                 "n_proposals": summary.n_proposals,
                 "n_already_satisfactory": summary.n_already_satisfactory,

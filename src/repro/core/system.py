@@ -261,6 +261,24 @@ class FairRankingDesigner:
         return self._engine.index
 
     # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta):
+        """Apply a batch of item mutations to the live index.
+
+        Forwards a :class:`~repro.core.maintenance.DatasetDelta` through the
+        engine seam: the engine maintains its index incrementally when the
+        delta is small and supported, and falls back to a full rebuild past
+        its configured ``staleness_fraction``.  Returns the engine's
+        :class:`~repro.core.maintenance.MaintenanceReport`.
+        """
+        return self._engine.apply_delta(delta)
+
+    def refresh(self):
+        """Re-run the oracle-dependent stages over the engine's cached geometry."""
+        return self._engine.refresh()
+
+    # ------------------------------------------------------------------ #
     # online phase
     # ------------------------------------------------------------------ #
     def check(self, weights: Sequence[float] | LinearScoringFunction) -> bool:
@@ -300,16 +318,20 @@ class FairRankingDesigner:
     # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save(self, path) -> None:
+    def save(self, path, *, journaled: bool = False) -> None:
         """Write the preprocessed engine (config + index + sample) to a JSON file.
 
         The file embeds the preprocessing dataset — the sample, when
         ``sample_size`` was configured — so :meth:`load` answers queries
         bit-identically to this designer without redoing any preprocessing.
+        With ``journaled=True`` the file records the pre-delta base snapshot
+        plus the applied-delta journal instead (see
+        :func:`repro.io.index_store.save_engine`); loading replays the
+        journal through the engine seam.
         """
         from repro.io.index_store import save_engine
 
-        save_engine(self._engine, path)
+        save_engine(self._engine, path, journaled=journaled)
 
     @classmethod
     def load(cls, path, oracle: FairnessOracle) -> "FairRankingDesigner":

@@ -24,6 +24,7 @@ __all__ = [
     "non_dominated_pairs",
     "exchange_pair_indices",
     "exchange_pairs_for_block",
+    "exchange_pairs_touching",
     "default_row_chunk_size",
     "iter_exchange_pair_chunks",
 ]
@@ -174,6 +175,71 @@ def exchange_pairs_for_block(
     eligible &= np.arange(n)[None, :] > np.arange(start, stop)[:, None]
     i_indices, j_indices = np.nonzero(eligible)
     return np.column_stack((i_indices + start, j_indices))
+
+
+def exchange_pairs_touching(
+    scores: np.ndarray,
+    touched,
+    rtol: float = 1e-5,
+    atol: float = 1e-8,
+) -> np.ndarray:
+    """Exchange pairs ``(i, j)`` with ``i < j`` and at least one endpoint in ``touched``.
+
+    The incremental-maintenance counterpart of :func:`exchange_pair_indices`:
+    after a dataset delta, only the pairs touching a changed item need their
+    eligibility re-derived, and this kernel derives exactly those.  The
+    decisions are bit-identical to the full-matrix kernel's rows — the same
+    subtraction, the same dominance masks, and the same *asymmetric* closeness
+    tolerance ``|a - b| <= atol + rtol * |scores[j]|`` anchored at the pair's
+    **larger** index ``j``, which is what the upper-triangle selection of the
+    full kernel anchors it at.
+
+    Parameters
+    ----------
+    scores:
+        ``(n, d)`` score matrix (post-delta).
+    touched:
+        Iterable of row indices whose scores changed (inserted or updated
+        items); pairs between untouched rows are not enumerated.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m, 2)`` array of eligible pairs, deduplicated, with ``i < j`` in
+        row-major order.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 2:
+        raise DatasetError("exchange_pairs_touching expects an (n, d) matrix")
+    n = scores.shape[0]
+    rows = np.asarray(sorted(set(int(index) for index in touched)), dtype=int)
+    if rows.size == 0:
+        return np.empty((0, 2), dtype=int)
+    if np.any(rows < 0) or np.any(rows >= n):
+        raise DatasetError("touched indices fall outside the score matrix")
+    difference = scores[rows, None, :] - scores[None, :, :]
+    forward = np.all(difference >= 0.0, axis=2) & np.any(difference > 0.0, axis=2)
+    backward = np.all(difference <= 0.0, axis=2) & np.any(difference < 0.0, axis=2)
+    absolute = np.abs(difference)
+    # The full kernel's closeness test anchors the tolerance at the pair's
+    # larger index (the column of the upper triangle); reproduce that for
+    # both orientations of each touched row.
+    close_at_column = np.all(absolute <= atol + rtol * np.abs(scores[None, :, :]), axis=2)
+    close_at_row = np.all(absolute <= atol + rtol * np.abs(scores[rows, None, :]), axis=2)
+    column_is_larger = np.arange(n)[None, :] > rows[:, None]
+    close = np.where(column_is_larger, close_at_column, close_at_row)
+    eligible = ~forward & ~backward & ~close
+    # Drop the diagonal explicitly (a row is trivially close to itself, but
+    # keep the intent visible rather than relying on the tolerance).
+    eligible &= np.arange(n)[None, :] != rows[:, None]
+    row_positions, j_indices = np.nonzero(eligible)
+    i_indices = rows[row_positions]
+    pairs = np.column_stack(
+        (np.minimum(i_indices, j_indices), np.maximum(i_indices, j_indices))
+    )
+    if pairs.shape[0] == 0:
+        return pairs
+    return np.unique(pairs, axis=0)
 
 
 def iter_exchange_pair_chunks(

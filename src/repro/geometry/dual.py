@@ -64,6 +64,7 @@ __all__ = [
     "build_exchange_hyperplanes_reference",
     "build_exchange_angles_2d",
     "build_exchange_angles_2d_reference",
+    "exchange_angles_for_pairs",
 ]
 
 #: Methods accepted by :func:`hyperplanes_for_dataset`.
@@ -552,6 +553,22 @@ def build_exchange_angles_2d(dataset: Dataset) -> list[tuple[float, int, int]]:
         raise GeometryError("build_exchange_angles_2d requires a 2-attribute dataset")
     scores = dataset.scores
     pairs = exchange_pair_indices(scores)
+    return exchange_angles_for_pairs(scores, pairs)
+
+
+def exchange_angles_for_pairs(
+    scores: np.ndarray, pairs: np.ndarray
+) -> list[tuple[float, int, int]]:
+    """The 2-D angle kernel of :func:`build_exchange_angles_2d` over explicit pairs.
+
+    Elementwise, so running it over any subset of the eligible pairs (e.g. the
+    pairs touching a dataset delta's changed items) yields triples bit-identical
+    to the corresponding rows of the full construction — the property the
+    incremental index maintenance of :mod:`repro.core.two_dim` relies on.
+    ``pairs`` rows must be exchange-eligible ``(i, j)`` indices into ``scores``.
+    """
+    scores = np.asarray(scores, dtype=float)
+    pairs = np.asarray(pairs, dtype=int)
     if pairs.shape[0] == 0:
         return []
     differences = scores[pairs[:, 0]] - scores[pairs[:, 1]]

@@ -50,6 +50,7 @@ __all__ = [
     "payload_checksum",
     "read_store_digest",
     "STORE_FORMAT",
+    "ENGINE_JOURNAL_FORMAT",
 ]
 
 #: Schema identifier written into every serialised index.
@@ -60,6 +61,9 @@ STORE_FORMAT = "repro.store/v1"
 
 #: Hash algorithm the envelope records (and the only one this version reads).
 _STORE_ALGORITHM = "sha256"
+
+#: Schema identifier of a journaled engine payload (base snapshot + deltas).
+ENGINE_JOURNAL_FORMAT = "repro.engine-journal/v1"
 
 
 # --------------------------------------------------------------------------- #
@@ -470,7 +474,7 @@ def load_index(
 # --------------------------------------------------------------------------- #
 # engine-level persistence ("preprocess once, serve many")
 # --------------------------------------------------------------------------- #
-def save_engine(engine, path: str | Path) -> None:
+def save_engine(engine, path: str | Path, *, journaled: bool = False) -> None:
     """Write a preprocessed :class:`~repro.core.engine.QueryEngine` to a JSON file.
 
     The payload bundles the engine name, its typed configuration, the offline
@@ -479,8 +483,39 @@ def save_engine(engine, path: str | Path) -> None:
     bit-identically without re-preprocessing.  The payload is wrapped in the
     :data:`STORE_FORMAT` checksum envelope so :func:`load_engine` can detect
     corruption.
+
+    With ``journaled=True`` the file instead records the engine's *base*
+    snapshot (its payload from before the first ``apply_delta``) plus the
+    serialised journal of every delta applied since
+    (:data:`ENGINE_JOURNAL_FORMAT`).  Loading replays the journal through
+    ``apply_delta``, reproducing the live engine bit-identically.  Engines
+    that cannot journal soundly — sampled engines persist only the sample,
+    which delta indices do not refer to — raise
+    :class:`~repro.exceptions.ConfigurationError` once deltas exist.
     """
-    Path(path).write_text(json.dumps(_wrap_payload(engine.to_payload())), encoding="utf-8")
+    if not journaled:
+        Path(path).write_text(
+            json.dumps(_wrap_payload(engine.to_payload())), encoding="utf-8"
+        )
+        return
+    journal = tuple(getattr(engine, "journal", ()))
+    if not journal:
+        base = engine.to_payload()
+    else:
+        base = getattr(engine, "base_payload", None)
+        if base is None:
+            raise ConfigurationError(
+                f"engine {getattr(engine, 'name', '?')!r} holds {len(journal)} "
+                "journaled delta(s) but no base snapshot; journaled persistence "
+                "needs a full-dataset, persistable engine (sampled engines "
+                "persist snapshot-only — save with journaled=False)"
+            )
+    payload = {
+        "format": ENGINE_JOURNAL_FORMAT,
+        "base": base,
+        "deltas": [delta.to_dict() for delta in journal],
+    }
+    Path(path).write_text(json.dumps(_wrap_payload(payload)), encoding="utf-8")
 
 
 def load_engine(path: str | Path, oracle: FairnessOracle):
@@ -496,6 +531,7 @@ def load_engine(path: str | Path, oracle: FairnessOracle):
     # Imported lazily: repro.core.engine imports this module's serialisers
     # inside its persistence hooks, so a module-level import would be cyclic.
     from repro.core.engine import ENGINE_FORMAT, engine_from_payload
+    from repro.core.maintenance import DatasetDelta
 
     payload = _read_document(path)
     if isinstance(payload, dict) and payload.get("format") == INDEX_FORMAT:
@@ -503,6 +539,16 @@ def load_engine(path: str | Path, oracle: FairnessOracle):
             f"{path} holds a bare index (format {INDEX_FORMAT!r}); use load_index() "
             "for index files, or re-save through FairRankingDesigner.save()"
         )
+    if isinstance(payload, dict) and payload.get("format") == ENGINE_JOURNAL_FORMAT:
+        try:
+            engine = engine_from_payload(payload["base"], oracle)
+            for delta_payload in payload.get("deltas", ()):
+                engine.apply_delta(DatasetDelta.from_dict(delta_payload))
+            return engine
+        except (KeyError, IndexError, TypeError, ValueError, AttributeError) as exc:
+            raise ConfigurationError(
+                f"{path} holds a journaled engine whose payload is malformed: {exc}"
+            ) from exc
     if not isinstance(payload, dict) or payload.get("format") != ENGINE_FORMAT:
         raise ConfigurationError(
             f"{path} is not a serialised engine (expected format {ENGINE_FORMAT!r})"

@@ -360,6 +360,40 @@ class InstrumentedEngine:
             )
         return results
 
+    def apply_delta(self, delta):
+        """Forward a dataset delta to the inner engine, spanned and counted.
+
+        ``maintenance.apply_delta`` counts every call; the per-strategy
+        counters (``maintenance.incremental`` / ``maintenance.rebuild`` /
+        ``maintenance.noop``) split them by what the inner engine actually
+        did, and ``maintenance.items_changed`` accumulates the mutation
+        volume.  Answers are untouched — instrumentation only observes.
+        """
+        with activated(self.recorder):
+            with self.recorder.span(
+                "maintenance.apply_delta",
+                engine=self.inner.name,
+                n_changes=delta.n_changes,
+            ):
+                report = self.inner.apply_delta(delta)
+        self.dataset = self.inner.dataset
+        self.metrics.counter("maintenance.apply_delta", engine=self.inner.name).inc()
+        self.metrics.counter(
+            f"maintenance.{report.strategy}", engine=self.inner.name
+        ).inc()
+        self.metrics.counter(
+            "maintenance.items_changed", engine=self.inner.name
+        ).inc(delta.n_changes)
+        return report
+
+    def refresh(self):
+        """Forward a partial refresh to the inner engine, spanned and counted."""
+        with activated(self.recorder):
+            with self.recorder.span("maintenance.refresh", engine=self.inner.name):
+                report = self.inner.refresh()
+        self.metrics.counter("maintenance.refresh", engine=self.inner.name).inc()
+        return report
+
     def _as_function(self, function) -> LinearScoringFunction:
         if isinstance(function, LinearScoringFunction):
             return function
@@ -429,3 +463,11 @@ class InstrumentedEngine:
     @property
     def telemetry(self):
         return getattr(self.inner, "telemetry", None)
+
+    @property
+    def journal(self) -> tuple:
+        return getattr(self.inner, "journal", ())
+
+    @property
+    def base_payload(self):
+        return getattr(self.inner, "base_payload", None)

@@ -333,6 +333,42 @@ class PoolEngine:
             self._publish_index()
 
     # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta: Any) -> Any:
+        """Apply a dataset delta to the inner engine and republish its index.
+
+        Republishing rewrites the pool-owned index file and re-pins its
+        checksum digest, which retires the current executor: the next batch
+        spins up fresh workers that load the maintained index.  The delta
+        therefore propagates to every worker through the same digest-pinning
+        mechanism that guards against index corruption — a worker can never
+        serve from pre-delta bytes.
+        """
+        report = self._inner.apply_delta(delta)
+        self.dataset = self._inner.dataset
+        self.metrics.counter("pool.index_republished").inc()
+        self._publish_index()
+        return report
+
+    def refresh(self) -> Any:
+        """Refresh the inner engine's oracle-dependent stages and republish."""
+        report = self._inner.refresh()
+        self.metrics.counter("pool.index_republished").inc()
+        self._publish_index()
+        return report
+
+    @property
+    def journal(self) -> tuple:
+        """The inner engine's applied-delta journal (pools serialise as it)."""
+        return self._inner.journal
+
+    @property
+    def base_payload(self) -> dict | None:
+        """The inner engine's pre-delta base snapshot, for journaled saves."""
+        return self._inner.base_payload
+
+    # ------------------------------------------------------------------ #
     # online phase
     # ------------------------------------------------------------------ #
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:

@@ -426,6 +426,63 @@ class FallbackEngine:
         return self._active
 
     # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, delta):
+        """Propagate a dataset delta to every active tier.
+
+        Each tier maintains its own index through its own ``apply_delta``
+        (incremental where supported, rebuild otherwise).  A tier whose
+        maintenance fails is dropped from the chain when
+        ``lenient_preprocess`` is set — the same isolation discipline as
+        preprocessing — and recorded in :attr:`preprocess_errors`; with
+        leniency off the failure raises.  The returned report is the primary
+        (first surviving) tier's, with every tier's strategy in ``details``.
+        """
+        return self._maintain("apply_delta", lambda engine: engine.apply_delta(delta))
+
+    def refresh(self):
+        """Re-run the oracle-dependent stages of every active tier."""
+        return self._maintain("refresh", lambda engine: engine.refresh())
+
+    def _maintain(self, what: str, operation):
+        survivors: list[tuple[str, object]] = []
+        errors: list[TierError] = list(self.preprocess_errors)
+        reports: list[tuple[str, object]] = []
+        for label, engine in self._active_chain():
+            try:
+                reports.append((label, operation(engine)))
+                survivors.append((label, engine))
+            except _PASS_THROUGH:
+                raise
+            except Exception as error:  # noqa: BLE001 — isolation is the point
+                if not self.config.lenient_preprocess:
+                    raise
+                errors.append(TierError(label, type(error).__name__, str(error)))
+        if not survivors:
+            raise ConfigurationError(
+                f"every tier of the fallback chain failed to {what}: "
+                + "; ".join(f"{e.tier}: {e.message}" for e in errors)
+            )
+        self.preprocess_errors = tuple(errors)
+        self._active = tuple(survivors)
+        self.dataset = survivors[0][1].dataset
+        primary = reports[0][1]
+        from repro.core.maintenance import MaintenanceReport
+
+        return MaintenanceReport(
+            engine="fallback",
+            strategy=primary.strategy,
+            n_inserted=primary.n_inserted,
+            n_deleted=primary.n_deleted,
+            n_updated=primary.n_updated,
+            staleness_fraction=primary.staleness_fraction,
+            details={
+                "tiers": {label: report.strategy for label, report in reports},
+            },
+        )
+
+    # ------------------------------------------------------------------ #
     # online phase
     # ------------------------------------------------------------------ #
     def suggest(self, function: LinearScoringFunction) -> SuggestionResult:

@@ -1,0 +1,14 @@
+"""Fixture: a registered engine overrides apply_delta but no differential
+harness fixture entry names it — the override ships unproven."""
+
+from repro.core.engine import QueryEngine, register_engine
+
+
+class StubConfig:
+    pass
+
+
+@register_engine("fixture-unexercised-delta-engine", StubConfig)
+class UnprovenDeltaEngine(QueryEngine):
+    def apply_delta(self, delta):
+        return None

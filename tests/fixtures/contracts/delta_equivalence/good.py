@@ -1,0 +1,24 @@
+"""Fixture: apply_delta overrides that satisfy the delta-equivalence rule.
+
+``ListedDeltaEngine`` overrides ``apply_delta`` under a registry name the
+differential harness's ``DELTA_EXERCISED_ENGINES`` list carries ("pool");
+``InheritingEngine`` does not override at all, so the base seam's own proof
+covers it and the rule stays quiet.
+"""
+
+from repro.core.engine import QueryEngine, register_engine
+
+
+class StubConfig:
+    pass
+
+
+@register_engine("pool", StubConfig)
+class ListedDeltaEngine(QueryEngine):
+    def apply_delta(self, delta):
+        return None
+
+
+@register_engine("fixture-inheriting-engine", StubConfig)
+class InheritingEngine(QueryEngine):
+    pass
